@@ -1,0 +1,102 @@
+"""F8 — stages of XNF query processing (Fig. 8).
+
+Times each compilation stage of the pipeline — parse, QGM build, query
+rewrite, plan optimization, execution — for a representative SQL query and
+for a full XNF CO query (whose XNF semantic rewrite sits on top).  Expected
+shape: compile-time stages are small next to execution on non-trivial data;
+XNF extraction decomposes into a handful of generated SQL queries.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.relational.sql.parser import parse_statements
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+
+SQL_QUERY = """
+SELECT d.dname, COUNT(*) AS n, SUM(e.sal) AS total
+FROM DEPT d, EMP e
+WHERE d.dno = e.edno AND d.budget > 500
+GROUP BY d.dname
+ORDER BY total DESC
+"""
+
+XNF_QUERY = """
+OUT OF
+  Xdept AS (SELECT * FROM DEPT WHERE budget > 500),
+  Xemp AS EMP,
+  Xproj AS PROJ,
+  employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+  ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno)
+TAKE *
+"""
+
+
+@pytest.fixture(scope="module")
+def db():
+    return company.scaled_database(departments=40, employees_per_dept=10)
+
+
+def test_sql_parse(benchmark):
+    benchmark(lambda: parse_statements(SQL_QUERY))
+
+
+def test_sql_compile(benchmark, db):
+    statement = parse_statements(SQL_QUERY)[0]
+    benchmark(lambda: db.compile_query(statement))
+
+
+def test_sql_execute(benchmark, db):
+    assert benchmark(lambda: db.execute(SQL_QUERY).rowcount) > 0
+
+
+def test_xnf_full_pipeline(benchmark, db):
+    session = XNFSession(db)
+    assert benchmark(lambda: session.query(XNF_QUERY).cache.total_tuples()) > 0
+
+
+def _report_body(db):
+    # SQL stages
+    begin = time.perf_counter()
+    statement = parse_statements(SQL_QUERY)[0]
+    parse_time = time.perf_counter() - begin
+    plan = db.compile_query(statement)
+    stage = dict(db.last_timings)
+    begin = time.perf_counter()
+    rows = list(plan.rows())
+    execute_time = time.perf_counter() - begin
+    report("F8 pipeline stages (Fig. 8)",
+           "SQL query : parse %.2f ms | QGM build %.2f ms | rewrite %.2f ms "
+           "| optimize %.2f ms | execute %.2f ms (%d rows)" % (
+               parse_time * 1000,
+               stage["build_qgm"] * 1000,
+               stage["rewrite"] * 1000,
+               stage["optimize"] * 1000,
+               execute_time * 1000,
+               len(rows),
+           ))
+    # XNF pipeline on top
+    session = XNFSession(db)
+    begin = time.perf_counter()
+    co = session.query(XNF_QUERY)
+    total = time.perf_counter() - begin
+    stats = session.last_stats
+    report("F8 pipeline stages (Fig. 8)",
+           "XNF query : total %.2f ms | %d generated SQL queries | "
+           "%d fixpoint rounds | %d temp tables | %d tuples + %d connections "
+           "into the cache" % (
+               total * 1000,
+               stats.queries_issued,
+               stats.iterations,
+               stats.temp_tables_created,
+               co.cache.total_tuples(),
+               co.cache.total_connections(),
+           ))
+    assert stats.queries_issued >= len(co.schema.nodes)
+
+def test_pipeline_report(benchmark, db):
+    """Report wrapper: runs once even under --benchmark-only."""
+    benchmark.pedantic(lambda: _report_body(db), rounds=1, iterations=1)

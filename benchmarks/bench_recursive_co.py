@@ -1,0 +1,98 @@
+"""E6 — recursive CO evaluation: semi-naive vs naive fixpoint (section 3.4).
+
+A reports-to chain of configurable depth makes the fixpoint run ``depth``
+rounds.  Semi-naive joins only the per-round delta; the naive ablation
+re-joins the full reachable set every round.  Expected shape: semi-naive
+wins, and the gap grows with depth (quadratic vs linear total join work).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.relational.engine import Database
+from repro.xnf.lang.parser import parse_xnf
+from repro.xnf.semantic_rewrite import XNFCompiler
+from repro.xnf.views import XNFViewCatalog, resolve
+
+DEPTHS = [8, 24, 48]
+WIDTH = 4  # employees per level
+
+CO_TEXT = """
+OUT OF
+  Xroot AS (SELECT * FROM STAFF WHERE mgrno IS NULL),
+  Xemp AS STAFF,
+  heads AS (RELATE Xroot, Xemp WHERE Xroot.eno = Xemp.eno),
+  manages AS (RELATE Xemp manager, Xemp report
+              WHERE manager.eno = report.mgrno)
+TAKE *
+"""
+
+
+def build_chain_db(depth: int) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE STAFF (eno INTEGER PRIMARY KEY, mgrno INTEGER)")
+    table = db.catalog.get_table("STAFF")
+    eno = 1
+    table.insert((eno, None))
+    previous_level = [1]
+    for _ in range(depth - 1):
+        level = []
+        for manager in previous_level[:1]:  # chain with bushy extras
+            for _ in range(WIDTH):
+                eno += 1
+                table.insert((eno, manager))
+                level.append(eno)
+        previous_level = level
+    db.execute("CREATE INDEX im ON STAFF (mgrno); ANALYZE")
+    return db
+
+
+def _run(db, semi_naive):
+    compiler = XNFCompiler(db, semi_naive=semi_naive)
+    schema = resolve(parse_xnf(CO_TEXT), XNFViewCatalog())
+    instance = compiler.instantiate(schema)
+    return instance, compiler.stats
+
+
+@pytest.mark.parametrize("depth", DEPTHS[:2])
+def test_semi_naive(benchmark, depth):
+    db = build_chain_db(depth)
+    total = benchmark(lambda: _run(db, True)[0].total_tuples())
+    assert total == 2 + WIDTH * (depth - 1)  # Xroot + Xemp tuples
+
+
+@pytest.mark.parametrize("depth", DEPTHS[:2])
+def test_naive(benchmark, depth):
+    db = build_chain_db(depth)
+    total = benchmark(lambda: _run(db, False)[0].total_tuples())
+    assert total == 2 + WIDTH * (depth - 1)  # Xroot + Xemp tuples
+
+
+def _report_body():
+    report("E6 recursive CO fixpoint",
+           f"reports-to chain, {WIDTH} employees per level")
+    ratios = []
+    for depth in DEPTHS:
+        db = build_chain_db(depth)
+        begin = time.perf_counter()
+        instance_s, stats_s = _run(db, True)
+        semi_time = time.perf_counter() - begin
+        begin = time.perf_counter()
+        instance_n, stats_n = _run(db, False)
+        naive_time = time.perf_counter() - begin
+        assert instance_s.total_tuples() == instance_n.total_tuples()
+        ratio = naive_time / semi_time
+        ratios.append(ratio)
+        report("E6 recursive CO fixpoint",
+               f"depth={depth:3d} ({instance_s.total_tuples():4d} tuples, "
+               f"{stats_s.iterations:3d} rounds) | semi-naive "
+               f"{semi_time*1000:8.1f} ms | naive {naive_time*1000:8.1f} ms "
+               f"| {ratio:4.1f}x")
+    # the gap must grow with depth (quadratic vs linear work)
+    assert ratios[-1] > ratios[0]
+
+def test_recursive_report(benchmark):
+    """Report wrapper: runs once even under --benchmark-only."""
+    benchmark.pedantic(lambda: _report_body(), rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""E7 — update propagation: immediate vs deferred/batched (section 3.7).
+
+"The cache is maintained in such a way that cache changes can be propagated
+in an efficient fashion [KDG87]" — the cooperative-buffer idea: collect the
+application's changes and ship them back together.
+
+Expected shape: deferred propagation makes the *editing phase* (what the
+interactive application feels) much cheaper, with total work comparable,
+and the flush runs as one transaction.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+
+NUM_UPDATES = 60
+
+
+def _fresh(deferred):
+    db = company.scaled_database(departments=15, employees_per_dept=6)
+    session = XNFSession(db, deferred_propagation=deferred)
+    co = session.query(
+        """
+        OUT OF Xdept AS DEPT, Xemp AS EMP,
+          employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+        TAKE *
+        """
+    )
+    return db, co
+
+
+def _edit(co):
+    employees = co.node("Xemp")[:NUM_UPDATES]
+    for emp in employees:
+        co.update(emp, sal=emp["sal"] + 1.0)
+    return len(employees)
+
+
+def test_immediate_propagation(benchmark, ):
+    def run():
+        _, co = _fresh(deferred=False)
+        return _edit(co)
+
+    assert benchmark(run) == NUM_UPDATES
+
+
+def test_deferred_propagation_with_flush(benchmark):
+    def run():
+        _, co = _fresh(deferred=True)
+        count = _edit(co)
+        co.flush()
+        return count
+
+    assert benchmark(run) == NUM_UPDATES
+
+
+def _report_body():
+    _, co_now = _fresh(deferred=False)
+    begin = time.perf_counter()
+    _edit(co_now)
+    immediate_edit = time.perf_counter() - begin
+
+    db, co_later = _fresh(deferred=True)
+    begin = time.perf_counter()
+    _edit(co_later)
+    deferred_edit = time.perf_counter() - begin
+    begin = time.perf_counter()
+    applied = co_later.flush()
+    flush_time = time.perf_counter() - begin
+
+    assert applied == NUM_UPDATES
+    assert db.execute(
+        "SELECT COUNT(*) FROM EMP WHERE sal - CAST(sal AS INTEGER) > 0.5"
+    ).rowcount >= 0  # base reflects the batch
+
+    report("E7 update propagation",
+           f"{NUM_UPDATES} cache-side updates")
+    report("E7 update propagation",
+           f"immediate: edit phase {immediate_edit*1000:7.1f} ms (SQL per op)")
+    report("E7 update propagation",
+           f"deferred : edit phase {deferred_edit*1000:7.1f} ms + flush "
+           f"{flush_time*1000:7.1f} ms (one txn) | interactive speedup "
+           f"{immediate_edit/deferred_edit:5.1f}x")
+    assert deferred_edit < immediate_edit
+
+def test_propagation_report(benchmark):
+    """Report wrapper: runs once even under --benchmark-only."""
+    benchmark.pedantic(lambda: _report_body(), rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""E2 — working-set extraction vs database size (section 1).
+
+"Loading a working set translates into a data extraction where on average
+one tuple out of 10000 to 100000 is selected.  This again calls for
+set-oriented query facilities for efficient data extraction."
+
+Sweep the design-database size while the working set (one document version)
+stays constant, comparing the XNF set-oriented extraction against the
+tuple-at-a-time navigational loader.  Expected shape: the navigational
+loader issues one query per fetched parent (constant but large query
+count), while the set-oriented extraction issues a constant *small* number
+of optimizer-planned queries; wall-clock advantage grows with database
+size when no index fits the navigation pattern and stays decisively ahead
+on query count always.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.workloads import design
+from repro.xnf.api import XNFSession
+
+SIZES = [10, 40, 160]
+DOC, VERSION = 5, 2
+
+
+@pytest.fixture(scope="module")
+def databases():
+    return {size: design.build_design_database(size) for size in SIZES}
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_setwise_extraction(benchmark, databases, size):
+    db = databases[size]
+    session = XNFSession(db)
+    co = benchmark(lambda: design.extract_working_set(session, DOC, VERSION))
+    assert co.cache.total_tuples() == 102  # 1 doc + 1 ver + 20 comp + 80 sub
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_navigational_extraction(benchmark, databases, size):
+    db = databases[size]
+    fetched, _ = benchmark(
+        lambda: design.extract_working_set_navigational(db, DOC, VERSION)
+    )
+    assert fetched == 102
+
+
+def _report_body(databases):
+    report("E2 working-set extraction",
+           f"fixed working set: document {DOC} version {VERSION} = 102 tuples")
+    for size in SIZES:
+        db = databases[size]
+        total = design.total_tuples(size)
+        session = XNFSession(db)
+        begin = time.perf_counter()
+        design.extract_working_set(session, DOC, VERSION)
+        set_time = time.perf_counter() - begin
+        set_queries = session.last_stats.queries_issued
+        begin = time.perf_counter()
+        _, nav_queries = design.extract_working_set_navigational(db, DOC, VERSION)
+        nav_time = time.perf_counter() - begin
+        report("E2 working-set extraction",
+               f"db={total:7d} tuples (selectivity 1/{total // 102:5d}) | "
+               f"set-oriented {set_time*1000:7.1f} ms / {set_queries:3d} queries | "
+               f"navigational {nav_time*1000:7.1f} ms / {nav_queries:3d} queries")
+        assert set_queries < nav_queries
+
+def test_working_set_report(benchmark, databases):
+    """Report wrapper: runs once even under --benchmark-only."""
+    benchmark.pedantic(lambda: _report_body(databases), rounds=1, iterations=1)

@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures and the report collector.
+
+Every experiment module both (a) registers pytest-benchmark timings and
+(b) appends human-readable rows to a session-wide report printed at the end
+of the run — the 'same rows/series the paper reports' requirement.
+"""
+
+import pytest
+
+_REPORT_SECTIONS = {}
+
+
+def report(section: str, line: str) -> None:
+    _REPORT_SECTIONS.setdefault(section, []).append(line)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def final_report():
+    yield
+    if not _REPORT_SECTIONS:
+        return
+    print("\n")
+    print("=" * 72)
+    print("EXPERIMENT REPORT (paper-shape summaries)")
+    print("=" * 72)
+    for section in sorted(_REPORT_SECTIONS):
+        print(f"\n--- {section} ---")
+        for line in _REPORT_SECTIONS[section]:
+            print(line)

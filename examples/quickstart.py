@@ -1,0 +1,68 @@
+"""Quickstart: define a composite object over relational data and use it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database, XNFSession
+
+
+def main() -> None:
+    # 1. An ordinary relational database (our Starburst-like engine).
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE DEPT (dno INTEGER PRIMARY KEY, dname VARCHAR,
+                           loc VARCHAR, budget FLOAT);
+        CREATE TABLE EMP (eno INTEGER PRIMARY KEY, ename VARCHAR,
+                          sal FLOAT, edno INTEGER REFERENCES DEPT(dno));
+        INSERT INTO DEPT VALUES (1, 'toys', 'NY', 1000.0),
+                                (2, 'tools', 'SF', 2000.0);
+        INSERT INTO EMP VALUES (1, 'ann', 120.0, 1), (2, 'bob', 80.0, 1),
+                               (3, 'cat', 150.0, 2), (4, 'dan', 90.0, NULL);
+        """
+    )
+    print("Plain SQL keeps working (shared database):")
+    print(db.execute("SELECT dname, COUNT(*) FROM DEPT d, EMP e "
+                     "WHERE d.dno = e.edno GROUP BY dname").pretty())
+
+    # 2. An XNF session over the same database.
+    session = XNFSession(db)
+    co = session.query(
+        """
+        OUT OF
+          Xdept AS (SELECT * FROM DEPT WHERE loc = 'NY'),
+          Xemp AS EMP,
+          employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+        TAKE *
+        """
+    )
+    print("\nComposite object extracted into the cache:")
+    print(co.summary())
+    # dan (edno NULL) is unreachable -> not part of the CO.
+
+    # 3. Navigate with cursors — pure pointer dereferencing, no SQL.
+    print("\nNavigation:")
+    dept_cursor = co.cursor("Xdept")
+    for dept in dept_cursor:
+        emps = co.dependent_cursor(dept_cursor, "employment")
+        names = ", ".join(e["ename"] for e in emps)
+        print(f"  {dept['dname']} ({dept['loc']}): {names}")
+
+    # 4. Manipulate: updates propagate back to the base tables.
+    ann = co.find("Xemp", ename="ann")
+    co.update(ann, sal=200.0)
+    print("\nAfter co.update(ann, sal=200.0):")
+    print(" base table says:",
+          db.execute("SELECT sal FROM EMP WHERE ename = 'ann'").scalar())
+
+    # 5. Relationships are manipulated with connect/disconnect.
+    dan = db.execute("SELECT * FROM EMP WHERE ename = 'dan'").first()
+    new_dan = co.insert("Xemp", eno=5, ename="dan2", sal=90.0)
+    toys = co.find("Xdept", dname="toys")
+    co.connect("employment", toys, new_dan)
+    print(" dan2 now employed by:",
+          db.execute("SELECT edno FROM EMP WHERE ename = 'dan2'").scalar())
+
+
+if __name__ == "__main__":
+    main()

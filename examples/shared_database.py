@@ -1,0 +1,54 @@
+"""Fig. 7: traditional SQL applications and XNF applications share the
+database — 'no change is required in the traditional applications'.
+
+Run:  python examples/shared_database.py
+"""
+
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+
+
+def traditional_payroll_report(db) -> str:
+    """A 'second generation' SQL application: knows nothing about XNF."""
+    result = db.execute(
+        "SELECT d.dname, COUNT(*) AS headcount, SUM(e.sal) AS payroll "
+        "FROM DEPT d, EMP e WHERE d.dno = e.edno "
+        "GROUP BY d.dname ORDER BY d.dname"
+    )
+    return result.pretty()
+
+
+def main() -> None:
+    db = company.figure4_database()
+
+    print("SQL application, before any XNF activity:")
+    print(traditional_payroll_report(db))
+
+    # The CO application starts on the very same database.
+    session = XNFSession(db)
+    company.create_paper_views(session)
+    co = session.query("OUT OF ALL-DEPS TAKE *")
+
+    # The design tool gives everyone in dNY a raise, via the cache.
+    dny = co.find("Xdept", dname="dNY")
+    for emp in dny.related("employment"):
+        co.update(emp, sal=emp["sal"] + 50.0)
+    # ... and moves e4 from dSF to dNY via relationship manipulation.
+    e4 = co.find("Xemp", ename="e4")
+    old = e4.connections("employment")[0]
+    co.disconnect(old)
+    co.connect("employment", dny, e4)
+
+    print("\nSQL application, after the XNF application's changes")
+    print("(same code, same tables — it just sees the new data):")
+    print(traditional_payroll_report(db))
+
+    # And the other direction: a plain SQL insert is visible to XNF.
+    db.execute("INSERT INTO EMP VALUES (77, 'hire', 10.0, 2, 'staff')")
+    fresh = session.query("OUT OF ALL-DEPS TAKE *")
+    print("\nXNF re-extraction sees the SQL application's new hire:",
+          fresh.find("Xemp", ename="hire") is not None)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""n-ary relationships: the classic ternary SUPPLY(project, part, supplier).
+
+Section 2 of the paper: "In a general setting we allow for n-ary
+relationships, i.e. relationships that relate more than two partner
+tables."  This example builds a three-partner relationship with a quantity
+attribute, navigates it from every slot, and shows reachability flowing
+through all child partners.
+
+Run:  python examples/ternary_supply.py
+"""
+
+from repro import Database, XNFSession
+
+
+def main() -> None:
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE PROJECT (pjid INTEGER PRIMARY KEY, pjname VARCHAR,
+                              active BOOLEAN);
+        CREATE TABLE PART (ptid INTEGER PRIMARY KEY, ptname VARCHAR);
+        CREATE TABLE SUPPLIER (sid INTEGER PRIMARY KEY, sname VARCHAR);
+        CREATE TABLE SUPPLY (spj INTEGER, spt INTEGER, ssu INTEGER,
+                             qty INTEGER);
+        INSERT INTO PROJECT VALUES (1, 'alpha', TRUE), (2, 'beta', TRUE),
+                                   (3, 'mothballed', FALSE);
+        INSERT INTO PART VALUES (10, 'bolt'), (11, 'nut'), (12, 'gear');
+        INSERT INTO SUPPLIER VALUES (100, 'acme'), (101, 'globex');
+        INSERT INTO SUPPLY VALUES (1, 10, 100, 500), (1, 11, 101, 200),
+                                  (2, 10, 101, 50), (3, 12, 100, 10);
+        """
+    )
+    session = XNFSession(db)
+    co = session.query(
+        """
+        OUT OF
+          Xproj AS (SELECT * FROM PROJECT WHERE active = TRUE),
+          Xpart AS PART,
+          Xsupp AS SUPPLIER,
+          supply AS (RELATE Xproj, Xpart, Xsupp
+                     WITH ATTRIBUTES s.qty
+                     USING SUPPLY s
+                     WHERE Xproj.pjid = s.spj AND Xpart.ptid = s.spt
+                       AND Xsupp.sid = s.ssu)
+        TAKE *
+        """
+    )
+    print(co.schema.describe())
+    print()
+    print(co.summary())
+
+    print("\nternary connection instances:")
+    for conn in co.connections("supply"):
+        supplier = conn.extra_children[0]
+        print(f"  {conn.parent['pjname']} <- {conn['qty']:4d} x "
+              f"{conn.child['ptname']} from {supplier['sname']}")
+
+    alpha = co.find("Xproj", pjname="alpha")
+    print("\nalpha's suppliers:",
+          sorted(t["sname"] for t in co.path(alpha, "supply->Xsupp")))
+    bolt = co.find("Xpart", ptname="bolt")
+    print("projects using bolts:",
+          sorted(t["pjname"] for t in bolt.related("supply")))
+    print("gear in the CO?", co.find("Xpart", ptname="gear") is not None,
+          "(only supplied to the inactive project)")
+
+
+if __name__ == "__main__":
+    main()

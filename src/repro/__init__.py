@@ -1,0 +1,48 @@
+"""repro — a full reproduction of SQL/XNF (Mitschang et al., ICDE 1993).
+
+Two layers:
+
+* :mod:`repro.relational` — a Starburst-like relational engine built from
+  scratch (storage, indexes, SQL, QGM, rewrite, optimizer, executor,
+  transactions), and
+* :mod:`repro.xnf` — the paper's contribution: the XNF composite-object
+  language, its semantic rewrite into SQL, the application-side CO cache
+  with cursors and path expressions, and update propagation.
+
+Quick start::
+
+    from repro import Database, XNFSession
+
+    db = Database()
+    db.execute("CREATE TABLE DEPT (dno INTEGER PRIMARY KEY, loc VARCHAR)")
+    ...
+    session = XNFSession(db)
+    co = session.query('''
+        OUT OF Xdept AS (SELECT * FROM DEPT WHERE loc = 'NY'),
+               Xemp AS EMP,
+               employment AS (RELATE Xdept, Xemp
+                              WHERE Xdept.dno = Xemp.edno)
+        TAKE *
+    ''')
+    for dept in co.cursor("Xdept"):
+        for emp in co.cursor("Xemp", depends_on=dept, via="employment"):
+            ...
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "XNFSession", "ReproError", "__version__"]
+
+
+def __getattr__(name: str):
+    if name == "Database":
+        from repro.relational.engine import Database
+
+        return Database
+    if name == "XNFSession":
+        from repro.xnf.api import XNFSession
+
+        return XNFSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

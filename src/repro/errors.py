@@ -1,0 +1,75 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the relational engine or the XNF layer derives from
+:class:`ReproError`, so applications can catch one base class.  The split
+mirrors the classic SQLSTATE families: syntax, semantic (catalog/type),
+integrity, transaction, and runtime execution errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SQLError(ReproError):
+    """Base class for errors raised by the relational engine."""
+
+
+class ParseError(SQLError):
+    """Raised when SQL or XNF text cannot be parsed.
+
+    Carries the offending position so callers can point at the token.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class CatalogError(SQLError):
+    """Unknown or duplicate table/column/index/view names."""
+
+
+class TypeCheckError(SQLError):
+    """Expression or value does not match the declared SQL type."""
+
+
+class IntegrityError(SQLError):
+    """Constraint violation: NOT NULL, PRIMARY KEY, FOREIGN KEY."""
+
+
+class ExecutionError(SQLError):
+    """Runtime failure while evaluating a plan (e.g. division by zero)."""
+
+
+class TransactionError(SQLError):
+    """Illegal transaction state transition or lock protocol violation."""
+
+
+class DeadlockError(TransactionError):
+    """Lock request aborted to break a deadlock."""
+
+
+class XNFError(ReproError):
+    """Base class for errors raised by the XNF composite-object layer."""
+
+
+class SchemaGraphError(XNFError):
+    """Ill-formed composite-object definition (well-formedness violations)."""
+
+
+class PathError(XNFError):
+    """Invalid path expression (unknown relationship, ambiguous direction)."""
+
+
+class UpdatabilityError(XNFError):
+    """Manipulation attempted on a non-updatable node or relationship."""
+
+
+class CursorError(XNFError):
+    """Illegal cursor operation (closed cursor, unpositioned fetch)."""

@@ -1,0 +1,29 @@
+"""Starburst-like relational DBMS substrate.
+
+This subpackage implements the relational engine that SQL/XNF extends:
+storage (slotted pages, buffer pool, heap files), indexes, a SQL front end,
+the Query Graph Model (QGM), a rewrite engine, a cost-based optimizer, an
+iterator-based executor, and transaction management.  The XNF layer
+(:mod:`repro.xnf`) compiles composite-object queries down to this engine,
+exactly as the paper compiles XNF into Starburst.
+"""
+
+from repro.relational.types import (
+    SQLType,
+    INTEGER,
+    FLOAT,
+    VARCHAR,
+    BOOLEAN,
+    Null,
+)
+
+__all__ = ["Database", "SQLType", "INTEGER", "FLOAT", "VARCHAR", "BOOLEAN", "Null"]
+
+
+def __getattr__(name: str):
+    # Lazy import: engine pulls in the whole pipeline; keep light imports fast.
+    if name == "Database":
+        from repro.relational.engine import Database
+
+        return Database
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,357 @@
+"""Catalog: schemas, tables, views, indexes and statistics.
+
+The :class:`Table` object is the integration point of the storage layer: it
+owns a heap file, keeps every index on the table in sync on each write, and
+enforces declarative constraints (NOT NULL, PRIMARY KEY via a unique index,
+FOREIGN KEY by lookup in the referenced table).  Foreign keys additionally
+feed the XNF layer's updatability analysis (section 3.7 of the paper: a
+relationship defined by a foreign key is disconnected by nullifying the FK).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError, IntegrityError
+from repro.relational.indexes import BTreeIndex, HashIndex, Index
+from repro.relational.storage import BufferPool, HeapFile, RID
+from repro.relational.types import SQLType, sort_key
+
+
+@dataclass
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    sql_type: SQLType
+    nullable: bool = True
+    primary_key: bool = False
+    references: Optional[Tuple[str, str]] = None  # (table, column)
+
+    def __str__(self) -> str:
+        parts = [self.name, str(self.sql_type)]
+        if self.primary_key:
+            parts.append("PRIMARY KEY")
+        elif not self.nullable:
+            parts.append("NOT NULL")
+        if self.references:
+            parts.append(f"REFERENCES {self.references[0]}({self.references[1]})")
+        return " ".join(parts)
+
+
+@dataclass
+class ColumnStats:
+    """Optimizer statistics for one column (filled in by ANALYZE)."""
+
+    n_distinct: int = 0
+    null_count: int = 0
+    min_value: Any = None
+    max_value: Any = None
+
+
+@dataclass
+class TableStats:
+    """Optimizer statistics for one table."""
+
+    row_count: int = 0
+    page_count: int = 1
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+    analyzed: bool = False
+
+
+class Table:
+    """A base table: schema + heap file + indexes + constraints."""
+
+    def __init__(self, name: str, columns: Sequence[Column], buffer_pool: BufferPool):
+        self.name = name
+        self.columns = list(columns)
+        self.column_positions = {col.name: pos for pos, col in enumerate(columns)}
+        if len(self.column_positions) != len(self.columns):
+            raise CatalogError(f"duplicate column name in table {name}")
+        self.heap = HeapFile(name, buffer_pool)
+        self.indexes: Dict[str, Index] = {}
+        self.stats = TableStats()
+        self._catalog: Optional["Catalog"] = None
+        pk_columns = [col.name for col in columns if col.primary_key]
+        if pk_columns:
+            self.add_index(f"pk_{name}", pk_columns, unique=True, kind="btree")
+
+    # -- schema helpers -------------------------------------------------------
+
+    def column_names(self) -> List[str]:
+        return [col.name for col in self.columns]
+
+    def position_of(self, column: str) -> int:
+        try:
+            return self.column_positions[column]
+        except KeyError:
+            raise CatalogError(f"table {self.name} has no column {column!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    # -- index management --------------------------------------------------------
+
+    def add_index(
+        self,
+        index_name: str,
+        column_names: Sequence[str],
+        unique: bool = False,
+        kind: str = "btree",
+    ) -> Index:
+        if index_name in self.indexes:
+            raise CatalogError(f"index {index_name} already exists on {self.name}")
+        positions = [self.position_of(col) for col in column_names]
+        cls = BTreeIndex if kind == "btree" else HashIndex
+        index = cls(index_name, self.name, column_names, positions, unique=unique)
+        # Backfill from existing rows.
+        for rid, row in self.heap.scan():
+            index.insert_row(row, rid)
+        self.indexes[index_name] = index
+        return index
+
+    def drop_index(self, index_name: str) -> None:
+        if index_name not in self.indexes:
+            raise CatalogError(f"no index {index_name} on table {self.name}")
+        del self.indexes[index_name]
+
+    def index_on(self, column_names: Sequence[str], require_range: bool = False) -> Optional[Index]:
+        """Find an index whose key is exactly *column_names* (order-sensitive)."""
+        wanted = list(column_names)
+        for index in self.indexes.values():
+            if index.column_names == wanted:
+                if require_range and not index.supports_range:
+                    continue
+                return index
+        return None
+
+    # -- constraint checks ---------------------------------------------------------
+
+    def _check_row(self, row: Tuple[Any, ...], skip_fk: bool = False) -> Tuple[Any, ...]:
+        if len(row) != len(self.columns):
+            raise IntegrityError(
+                f"table {self.name} expects {len(self.columns)} values, got {len(row)}"
+            )
+        coerced = []
+        for col, value in zip(self.columns, row):
+            value = col.sql_type.validate(value)
+            if value is None and (not col.nullable or col.primary_key):
+                raise IntegrityError(
+                    f"column {self.name}.{col.name} may not be NULL"
+                )
+            coerced.append(value)
+        result = tuple(coerced)
+        if not skip_fk:
+            self._check_foreign_keys(result)
+        return result
+
+    def _check_foreign_keys(self, row: Tuple[Any, ...]) -> None:
+        if self._catalog is None:
+            return
+        for col, value in zip(self.columns, row):
+            if col.references is None or value is None:
+                continue
+            ref_table_name, ref_column = col.references
+            ref_table = self._catalog.tables.get(ref_table_name)
+            if ref_table is None:
+                raise IntegrityError(
+                    f"FK {self.name}.{col.name} references missing table {ref_table_name}"
+                )
+            if not ref_table.contains_value(ref_column, value):
+                raise IntegrityError(
+                    f"FK violation: {self.name}.{col.name}={value!r} has no match "
+                    f"in {ref_table_name}.{ref_column}"
+                )
+
+    def contains_value(self, column: str, value: Any) -> bool:
+        index = self.index_on([column])
+        if index is not None:
+            return bool(index.search((value,)))
+        pos = self.position_of(column)
+        return any(row[pos] == value for _, row in self.heap.scan())
+
+    # -- write path -------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any], rid_hint: Optional[RID] = None) -> RID:
+        """Validate, store and index one row; returns its RID."""
+        checked = self._check_row(tuple(row))
+        rid = self.heap.insert(checked) if rid_hint is None else rid_hint
+        try:
+            for index in self.indexes.values():
+                index.insert_row(checked, rid)
+        except IntegrityError:
+            if rid_hint is None:
+                self.heap.delete(rid)
+            for index in self.indexes.values():
+                index.delete_row(checked, rid)
+            raise
+        self.stats.row_count = self.heap.row_count
+        return rid
+
+    def insert_prechecked(self, row: Tuple[Any, ...], rid: RID) -> None:
+        """Index a row that was placed by a clustering bulk loader."""
+        checked = self._check_row(row)
+        for index in self.indexes.values():
+            index.insert_row(checked, rid)
+        self.stats.row_count = self.heap.row_count
+
+    def update(self, rid: RID, new_row: Sequence[Any]) -> None:
+        old_row = self.heap.fetch_row(rid)
+        checked = self._check_row(tuple(new_row))
+        for index in self.indexes.values():
+            index.update_row(old_row, checked, rid)
+        self.heap.update(rid, checked)
+        self.stats.row_count = self.heap.row_count
+
+    def delete(self, rid: RID) -> Tuple[Any, ...]:
+        row = self.heap.fetch_row(rid)
+        for index in self.indexes.values():
+            index.delete_row(row, rid)
+        self.heap.delete(rid)
+        self.stats.row_count = self.heap.row_count
+        return row
+
+    # -- undo/redo (transaction manager back-calls; constraints are skipped
+    # because these restore a state that was valid when first produced) --------
+
+    def undo_insert(self, rid: RID) -> None:
+        row = self.heap.fetch_row(rid)
+        for index in self.indexes.values():
+            index.delete_row(row, rid)
+        self.heap.delete(rid)
+        self.stats.row_count = self.heap.row_count
+
+    def undo_delete(self, row: Tuple[Any, ...]) -> None:
+        rid = self.heap.insert(row)
+        for index in self.indexes.values():
+            index.insert_row(row, rid)
+        self.stats.row_count = self.heap.row_count
+
+    def undo_update(self, rid: RID, before: Tuple[Any, ...]) -> None:
+        old_row = self.heap.fetch_row(rid)
+        for index in self.indexes.values():
+            index.update_row(old_row, before, rid)
+        self.heap.update(rid, before)
+
+    # -- redo (WAL replay into a fresh schema) -----------------------------------
+
+    def redo_insert(self, row: Tuple[Any, ...]) -> None:
+        self.undo_delete(row)
+
+    def redo_delete(self, row: Tuple[Any, ...]) -> None:
+        for rid, existing in self.heap.scan():
+            if existing == row:
+                self.undo_insert(rid)
+                return
+
+    def redo_update(self, before: Tuple[Any, ...], after: Tuple[Any, ...]) -> None:
+        for rid, existing in self.heap.scan():
+            if existing == before:
+                self.undo_update(rid, after)
+                return
+
+    # -- read path ---------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        return self.heap.scan()
+
+    def fetch(self, rid: RID) -> Tuple[Any, ...]:
+        return self.heap.fetch_row(rid)
+
+    # -- statistics ----------------------------------------------------------------
+
+    def analyze(self) -> TableStats:
+        """Compute exact statistics for the optimizer."""
+        stats = TableStats(analyzed=True)
+        distinct: List[set] = [set() for _ in self.columns]
+        nulls = [0] * len(self.columns)
+        minima: List[Any] = [None] * len(self.columns)
+        maxima: List[Any] = [None] * len(self.columns)
+        count = 0
+        for _, row in self.heap.scan():
+            count += 1
+            for pos, value in enumerate(row):
+                if value is None:
+                    nulls[pos] += 1
+                    continue
+                distinct[pos].add(value)
+                if minima[pos] is None or sort_key(value) < sort_key(minima[pos]):
+                    minima[pos] = value
+                if maxima[pos] is None or sort_key(value) > sort_key(maxima[pos]):
+                    maxima[pos] = value
+        stats.row_count = count
+        stats.page_count = max(1, self.heap.num_pages())
+        for pos, col in enumerate(self.columns):
+            stats.columns[col.name] = ColumnStats(
+                n_distinct=len(distinct[pos]),
+                null_count=nulls[pos],
+                min_value=minima[pos],
+                max_value=maxima[pos],
+            )
+        self.stats = stats
+        return stats
+
+
+@dataclass
+class ViewDefinition:
+    """A named view: its SQL text and parsed body (filled by the engine)."""
+
+    name: str
+    sql_text: str
+    body: Any  # parsed SelectStmt AST; typed Any to avoid an import cycle
+
+
+class Catalog:
+    """Name space of tables, views and their indexes."""
+
+    def __init__(self, buffer_pool: BufferPool):
+        self.buffer_pool = buffer_pool
+        self.tables: Dict[str, Table] = {}
+        self.views: Dict[str, ViewDefinition] = {}
+
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        key = name.upper()
+        if key in self.tables or key in self.views:
+            raise CatalogError(f"table or view {name} already exists")
+        table = Table(key, columns, self.buffer_pool)
+        table._catalog = self
+        self.tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.upper()
+        table = self.tables.pop(key, None)
+        if table is None:
+            if if_exists:
+                return
+            raise CatalogError(f"no table named {name}")
+        table.heap.truncate()
+
+    def get_table(self, name: str) -> Table:
+        table = self.tables.get(name.upper())
+        if table is None:
+            raise CatalogError(f"no table named {name}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.upper() in self.tables
+
+    def create_view(self, name: str, sql_text: str, body: Any) -> ViewDefinition:
+        key = name.upper()
+        if key in self.tables or key in self.views:
+            raise CatalogError(f"table or view {name} already exists")
+        view = ViewDefinition(key, sql_text, body)
+        self.views[key] = view
+        return view
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.upper()
+        if key not in self.views:
+            if if_exists:
+                return
+            raise CatalogError(f"no view named {name}")
+        del self.views[key]
+
+    def get_view(self, name: str) -> Optional[ViewDefinition]:
+        return self.views.get(name.upper())

@@ -1,0 +1,531 @@
+"""Database engine facade.
+
+:class:`Database` wires the full pipeline of Fig. 8 of the paper (minus the
+XNF stages, which :mod:`repro.xnf` adds on top):
+
+    parse → QGM build → query rewrite → plan optimization → execution
+
+and owns the shared substrate: disk, buffer pool, catalog, transaction
+manager.  Per-stage wall-clock timings of the last statement are kept in
+``last_timings`` for the pipeline benchmark (experiment F8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    SQLError,
+    TransactionError,
+)
+from repro.relational.catalog import Catalog, Column, Table
+from repro.relational.executor.exprs import ExprCompiler
+from repro.relational.executor.operators import SeqScan
+from repro.relational.optimizer.planner import CompiledPlan, Planner
+from repro.relational.qgm.build import QGMBuilder
+from repro.relational.qgm.model import Box
+from repro.relational.rewrite import Rewriter
+from repro.relational.sql import ast
+from repro.relational.sql.parser import parse_statements
+from repro.relational.storage import BufferPool, DiskManager
+from repro.relational.txn.locks import LockMode
+from repro.relational.txn.manager import (
+    IsolationLevel,
+    Transaction,
+    TransactionManager,
+)
+from repro.relational.types import type_from_name
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    rowcount: int = 0
+
+    def scalar(self) -> Any:
+        """First column of the first row (None when empty)."""
+        if self.rows:
+            return self.rows[0][0]
+        return None
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        return self.rows[0] if self.rows else None
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """Simple aligned-text rendering for examples and demos."""
+        header = self.columns or []
+        body = [
+            ["NULL" if v is None else str(v) for v in row]
+            for row in self.rows[:max_rows]
+        ]
+        widths = [len(h) for h in header]
+        for row in body:
+            for idx, cell in enumerate(row):
+                if idx < len(widths):
+                    widths[idx] = max(widths[idx], len(cell))
+                else:
+                    widths.append(len(cell))
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(
+                cell.ljust(widths[idx]) for idx, cell in enumerate(cells)
+            )
+        lines = []
+        if header:
+            lines.append(fmt(header))
+            lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt(row) for row in body)
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+class Session:
+    """A connection with its own transaction state over a shared Database.
+
+    Sessions are cooperative and single-threaded (statements interleave but
+    never run concurrently), which is exactly the setting where the no-wait
+    lock manager surfaces conflicts as immediate :class:`DeadlockError`\\ s.
+    Used to demonstrate the isolation degrees of section 1 across
+    "applications" sharing the database (Fig. 7).
+    """
+
+    def __init__(self, db: "Database", isolation: Optional[IsolationLevel] = None):
+        self.db = db
+        self.isolation = isolation or db.isolation
+        self._txn: Optional[Transaction] = None
+
+    def execute(self, sql: str) -> "Result":
+        with self._activate():
+            return self.db.execute(sql)
+
+    def execute_ast(self, stmt: ast.Statement) -> "Result":
+        with self._activate():
+            return self.db.execute_ast(stmt)
+
+    def begin(self, isolation: Optional[IsolationLevel] = None) -> None:
+        with self._activate():
+            self.db.begin(isolation or self.isolation)
+
+    def commit(self) -> None:
+        with self._activate():
+            self.db.commit()
+
+    def rollback(self) -> None:
+        with self._activate():
+            self.db.rollback()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.active
+
+    def _activate(self):
+        session = self
+
+        class _Swap:
+            def __enter__(self):
+                self.saved = (session.db._txn, session.db.isolation)
+                session.db._txn = session._txn
+                session.db.isolation = session.isolation
+                return session
+
+            def __exit__(self, *exc_info):
+                session._txn = session.db._txn
+                session.db._txn, session.db.isolation = self.saved
+                return False
+
+        return _Swap()
+
+
+class Database:
+    """An embedded relational database instance."""
+
+    def __init__(
+        self,
+        page_size: int = 4096,
+        buffer_capacity: int = 256,
+        enable_rewrite: bool = True,
+    ):
+        self.disk = DiskManager(page_size)
+        self.buffer_pool = BufferPool(self.disk, buffer_capacity)
+        self.catalog = Catalog(self.buffer_pool)
+        self.builder = QGMBuilder(self.catalog)
+        self.txn_manager = TransactionManager()
+        self.enable_rewrite = enable_rewrite
+        self.isolation = IsolationLevel.REPEATABLE_READ
+        self._txn: Optional[Transaction] = None
+        self.last_timings: Dict[str, float] = {}
+        self.statements_executed = 0
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, sql: str) -> Result:
+        """Execute one statement; the last result is returned for batches."""
+        statements = parse_statements(sql)
+        if not statements:
+            raise SQLError("empty statement")
+        result = Result()
+        for stmt in statements:
+            result = self.execute_ast(stmt)
+        return result
+
+    def execute_script(self, sql: str) -> List[Result]:
+        return [self.execute_ast(stmt) for stmt in parse_statements(sql)]
+
+    def query(self, sql: str) -> Result:
+        return self.execute(sql)
+
+    def connect(self, isolation: Optional[IsolationLevel] = None) -> Session:
+        """Open an additional session (own transaction state, shared data)."""
+        return Session(self, isolation)
+
+    def execute_ast(self, stmt: ast.Statement) -> Result:
+        self.statements_executed += 1
+        if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
+            return self._run_query(stmt)
+        if isinstance(stmt, ast.InsertStmt):
+            return self._run_insert(stmt)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self._run_update(stmt)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self._run_delete(stmt)
+        if isinstance(stmt, ast.CreateTableStmt):
+            return self._run_create_table(stmt)
+        if isinstance(stmt, ast.CreateIndexStmt):
+            return self._run_create_index(stmt)
+        if isinstance(stmt, ast.CreateViewStmt):
+            return self._run_create_view(stmt)
+        if isinstance(stmt, ast.DropStmt):
+            return self._run_drop(stmt)
+        if isinstance(stmt, ast.AnalyzeStmt):
+            return self._run_analyze(stmt)
+        if isinstance(stmt, ast.ExplainStmt):
+            plan = self.compile_query(stmt.query)
+            lines = plan.op.explain().splitlines()
+            return Result(["plan"], [(line,) for line in lines], len(lines))
+        if isinstance(stmt, ast.BeginStmt):
+            self.begin()
+            return Result()
+        if isinstance(stmt, ast.CommitStmt):
+            self.commit()
+            return Result()
+        if isinstance(stmt, ast.RollbackStmt):
+            self.rollback()
+            return Result()
+        raise SQLError(f"unsupported statement {stmt!r}")
+
+    def explain(self, sql: str) -> str:
+        """Return the physical plan of a query, as an indented tree."""
+        statements = parse_statements(sql)
+        if len(statements) != 1 or not isinstance(
+            statements[0], (ast.SelectStmt, ast.SetOpStmt)
+        ):
+            raise SQLError("EXPLAIN supports a single query")
+        plan = self.compile_query(statements[0])
+        return plan.op.explain()
+
+    # -- query compilation (shared with the XNF layer) ----------------------------
+
+    def compile_query(self, query: ast.Query) -> CompiledPlan:
+        """Full pipeline minus execution; records per-stage timings."""
+        timings: Dict[str, float] = {}
+        start = time.perf_counter()
+        box = self.builder.build_query(query)
+        timings["build_qgm"] = time.perf_counter() - start
+        start = time.perf_counter()
+        box = self._rewrite(box)
+        timings["rewrite"] = time.perf_counter() - start
+        start = time.perf_counter()
+        plan = Planner(self.catalog).plan_box(box)
+        timings["optimize"] = time.perf_counter() - start
+        self.last_timings.update(timings)
+        return plan
+
+    def compile_box(self, box: Box) -> CompiledPlan:
+        """Rewrite + optimize an externally-built QGM box (XNF path)."""
+        box = self._rewrite(box)
+        return Planner(self.catalog).plan_box(box)
+
+    def _rewrite(self, box: Box) -> Box:
+        if not self.enable_rewrite:
+            return box
+        return Rewriter().rewrite(box)
+
+    def _run_query(self, query: ast.Query) -> Result:
+        for table in self._tables_of(query):
+            self._lock(table, LockMode.SHARED)
+        plan = self.compile_query(query)
+        start = time.perf_counter()
+        rows = list(plan.rows())
+        self.last_timings["execute"] = time.perf_counter() - start
+        self._end_of_statement()
+        return Result(plan.columns, rows, len(rows))
+
+    # -- DML ------------------------------------------------------------------
+
+    def _run_insert(self, stmt: ast.InsertStmt) -> Result:
+        table = self.catalog.get_table(stmt.table)
+        self._lock(table.name, LockMode.EXCLUSIVE)
+        if stmt.columns is not None:
+            positions = [table.position_of(col) for col in stmt.columns]
+        else:
+            positions = list(range(len(table.columns)))
+        incoming: List[Tuple[Any, ...]] = []
+        if stmt.select is not None:
+            incoming = list(self._run_query(stmt.select).rows)
+        else:
+            planner = Planner(self.catalog)
+            compiler = ExprCompiler({}, planner.subplan_factory)
+            for row_exprs in stmt.rows or []:
+                resolved = [
+                    self.builder.resolve_standalone_predicate(e, "__none__", [])
+                    for e in row_exprs
+                ]
+                incoming.append(tuple(compiler.compile(e)((), []) for e in resolved))
+        count = 0
+        for values in incoming:
+            if len(values) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expects {len(positions)} values, got {len(values)}"
+                )
+            row: List[Any] = [None] * len(table.columns)
+            for pos, value in zip(positions, values):
+                row[pos] = value
+            rid = table.insert(tuple(row))
+            self._record_insert(table, rid)
+            count += 1
+        self._end_of_statement()
+        return Result(rowcount=count)
+
+    def _run_update(self, stmt: ast.UpdateStmt) -> Result:
+        table = self.catalog.get_table(stmt.table)
+        self._lock(table.name, LockMode.EXCLUSIVE)
+        columns = table.column_names()
+        layout = {(table.name, col): pos + 1 for pos, col in enumerate(columns)}
+        planner = Planner(self.catalog)
+        compiler = ExprCompiler(layout, planner.subplan_factory)
+        predicate = None
+        if stmt.where is not None:
+            resolved = self.builder.resolve_standalone_predicate(
+                stmt.where, table.name, columns
+            )
+            predicate = compiler.compile_predicate(resolved)
+        assignments = []
+        for col_name, expr in stmt.assignments:
+            pos = table.position_of(col_name)
+            resolved = self.builder.resolve_standalone_predicate(
+                expr, table.name, columns
+            )
+            assignments.append((pos, compiler.compile(resolved)))
+        scan = SeqScan(table, emit_rid=True)
+        pending: List[Tuple[Any, Tuple[Any, ...], Tuple[Any, ...]]] = []
+        for tagged in scan.rows([]):
+            rid, row = tagged[0], tagged[1:]
+            if predicate is not None and predicate(tagged, []) is not True:
+                continue
+            new_row = list(row)
+            for pos, fn in assignments:
+                new_row[pos] = fn(tagged, [])
+            pending.append((rid, row, tuple(new_row)))
+        for rid, old_row, new_row in pending:
+            table.update(rid, new_row)
+            self._record_update(table, rid, old_row, new_row)
+        self._end_of_statement()
+        return Result(rowcount=len(pending))
+
+    def _run_delete(self, stmt: ast.DeleteStmt) -> Result:
+        table = self.catalog.get_table(stmt.table)
+        self._lock(table.name, LockMode.EXCLUSIVE)
+        columns = table.column_names()
+        layout = {(table.name, col): pos + 1 for pos, col in enumerate(columns)}
+        planner = Planner(self.catalog)
+        compiler = ExprCompiler(layout, planner.subplan_factory)
+        predicate = None
+        if stmt.where is not None:
+            resolved = self.builder.resolve_standalone_predicate(
+                stmt.where, table.name, columns
+            )
+            predicate = compiler.compile_predicate(resolved)
+        scan = SeqScan(table, emit_rid=True)
+        pending: List[Tuple[Any, Tuple[Any, ...]]] = []
+        for tagged in scan.rows([]):
+            if predicate is not None and predicate(tagged, []) is not True:
+                continue
+            pending.append((tagged[0], tagged[1:]))
+        for rid, row in pending:
+            table.delete(rid)
+            self._record_delete(table, rid, row)
+        self._end_of_statement()
+        return Result(rowcount=len(pending))
+
+    # -- DDL -------------------------------------------------------------------
+
+    def _run_create_table(self, stmt: ast.CreateTableStmt) -> Result:
+        if stmt.if_not_exists and self.catalog.has_table(stmt.name):
+            return Result()
+        columns = [
+            Column(
+                col.name,
+                type_from_name(col.type_name, col.size),
+                nullable=not col.not_null,
+                primary_key=col.primary_key,
+                references=col.references,
+            )
+            for col in stmt.columns
+        ]
+        self.catalog.create_table(stmt.name, columns)
+        return Result()
+
+    def _run_create_index(self, stmt: ast.CreateIndexStmt) -> Result:
+        table = self.catalog.get_table(stmt.table)
+        table.add_index(stmt.name, stmt.columns, unique=stmt.unique, kind=stmt.kind)
+        return Result()
+
+    def _run_create_view(self, stmt: ast.CreateViewStmt) -> Result:
+        # Validate eagerly: building the QGM catches unknown names now.
+        self.builder.build_query(stmt.query)
+        self.catalog.create_view(stmt.name, stmt.sql_text, stmt.query)
+        return Result()
+
+    def _run_drop(self, stmt: ast.DropStmt) -> Result:
+        if stmt.kind == "TABLE":
+            self.catalog.drop_table(stmt.name, stmt.if_exists)
+        elif stmt.kind == "VIEW":
+            self.catalog.drop_view(stmt.name, stmt.if_exists)
+        elif stmt.kind == "INDEX":
+            dropped = False
+            candidates = (
+                [self.catalog.get_table(stmt.table)]
+                if stmt.table
+                else list(self.catalog.tables.values())
+            )
+            for table in candidates:
+                if stmt.name in table.indexes:
+                    table.drop_index(stmt.name)
+                    dropped = True
+                    break
+            if not dropped and not stmt.if_exists:
+                raise CatalogError(f"no index named {stmt.name}")
+        return Result()
+
+    def _run_analyze(self, stmt: ast.AnalyzeStmt) -> Result:
+        tables = (
+            [self.catalog.get_table(stmt.table)]
+            if stmt.table
+            else list(self.catalog.tables.values())
+        )
+        for table in tables:
+            table.analyze()
+        return Result(rowcount=len(tables))
+
+    # -- transactions -------------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.active
+
+    def begin(self, isolation: Optional[IsolationLevel] = None) -> None:
+        if self.in_transaction:
+            raise TransactionError("transaction already in progress")
+        self._txn = self.txn_manager.begin(isolation or self.isolation)
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        self.txn_manager.commit(self._txn)  # type: ignore[arg-type]
+        self._txn = None
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        self.txn_manager.rollback(self._txn)  # type: ignore[arg-type]
+        self._txn = None
+
+    def _lock(self, table: str, mode: LockMode) -> None:
+        if self._txn is not None and self._txn.active:
+            self.txn_manager.locks.acquire(self._txn.txn_id, table, mode)
+
+    def _end_of_statement(self) -> None:
+        """Cursor stability releases read locks at statement end."""
+        if (
+            self._txn is not None
+            and self._txn.active
+            and self._txn.isolation is IsolationLevel.CURSOR_STABILITY
+        ):
+            self.txn_manager.locks.release_shared(self._txn.txn_id)
+
+    def _record_insert(self, table: Table, rid) -> None:
+        row = table.fetch(rid)
+        if self._txn is not None and self._txn.active:
+            self.txn_manager.record_insert(self._txn, table, rid, row)
+        else:  # autocommit: log as an immediately-committed txn 0
+            self.txn_manager.wal.append(0, "INSERT", table.name, after=row)
+            self.txn_manager.wal.append(0, "COMMIT")
+
+    def _record_update(self, table: Table, rid, before, after) -> None:
+        if self._txn is not None and self._txn.active:
+            self.txn_manager.record_update(self._txn, table, rid, before, after)
+        else:
+            self.txn_manager.wal.append(
+                0, "UPDATE", table.name, before=before, after=after
+            )
+            self.txn_manager.wal.append(0, "COMMIT")
+
+    def _record_delete(self, table: Table, rid, row) -> None:
+        if self._txn is not None and self._txn.active:
+            self.txn_manager.record_delete(self._txn, table, rid, row)
+        else:
+            self.txn_manager.wal.append(0, "DELETE", table.name, before=row)
+            self.txn_manager.wal.append(0, "COMMIT")
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _tables_of(self, query: ast.Query) -> List[str]:
+        names: List[str] = []
+
+        def visit_table_ref(ref: ast.TableRef) -> None:
+            if isinstance(ref, ast.NamedTable):
+                if self.catalog.has_table(ref.name):
+                    names.append(ref.name.upper())
+            elif isinstance(ref, ast.DerivedTable):
+                visit_query(ref.subquery)
+            elif isinstance(ref, ast.Join):
+                visit_table_ref(ref.left)
+                visit_table_ref(ref.right)
+
+        def visit_query(q: ast.Query) -> None:
+            if isinstance(q, ast.SetOpStmt):
+                visit_query(q.left)
+                visit_query(q.right)
+                return
+            for ref in q.from_tables:
+                visit_table_ref(ref)
+
+        visit_query(query)
+        return names
+
+    def io_stats(self) -> Dict[str, int]:
+        """Storage counters used by the clustering/extraction benchmarks."""
+        return {
+            "disk_reads": self.disk.reads,
+            "disk_writes": self.disk.writes,
+            "buffer_hits": self.buffer_pool.hits,
+            "buffer_misses": self.buffer_pool.misses,
+            "evictions": self.buffer_pool.evictions,
+        }
+
+    def reset_io_stats(self) -> None:
+        self.disk.reset_stats()
+        self.buffer_pool.reset_stats()

@@ -1,0 +1,14 @@
+"""Iterator-based query executor.
+
+Physical operators (:mod:`~repro.relational.executor.operators`) consume and
+produce plain Python tuples; all column resolution happens at plan-compile
+time, when expressions are compiled to closures over tuple positions
+(:mod:`~repro.relational.executor.exprs`).  Correlated subqueries are run as
+parameterised subplans against an environment stack, memoised when
+uncorrelated.
+"""
+
+from repro.relational.executor.exprs import ExprCompiler, Layout
+from repro.relational.executor import operators
+
+__all__ = ["ExprCompiler", "Layout", "operators"]

@@ -1,0 +1,377 @@
+"""Expression compilation: QGM expressions → Python closures.
+
+A compiled expression is a function ``fn(row, env)`` where *row* is the
+current operator's tuple and *env* is the environment stack — a list of
+``{(quantifier, column): value}`` dicts pushed by enclosing queries (for
+correlated subqueries) and by the XNF path-expression evaluator.
+
+Compiling once and evaluating many times is what makes tuple-at-a-time
+execution tolerable in Python; it also mirrors Starburst's "query refinement"
+stage, which emits an executable plan rather than re-interpreting QGM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError, TypeCheckError
+from repro.relational.qgm.model import OuterRef, QGMColumnRef, SubqueryExpr
+from repro.relational.sql import ast
+from repro.relational.types import (
+    sql_arith,
+    sql_compare,
+    sql_like,
+    tv_and,
+    tv_not,
+    tv_or,
+)
+
+#: Maps (quantifier, column) to a tuple position.
+Layout = Dict[Tuple[str, str], int]
+
+CompiledExpr = Callable[[Tuple[Any, ...], List[Dict]], Any]
+
+
+class ExprCompiler:
+    """Compiles resolved expressions against a row layout.
+
+    ``subplan_factory(box)`` must return an object with
+    ``rows(env) -> iterator of tuples`` — the planner provides this to
+    execute subquery boxes.  ``precomputed`` maps an expression's SQL text to
+    a tuple position; the aggregate operator uses it to route aggregate
+    results and group keys into final head expressions.
+    """
+
+    def __init__(
+        self,
+        layout: Layout,
+        subplan_factory: Optional[Callable[[Any], Any]] = None,
+        precomputed: Optional[Dict[str, int]] = None,
+    ):
+        self.layout = layout
+        self.subplan_factory = subplan_factory
+        self.precomputed = precomputed or {}
+
+    def compile(self, expr: ast.Expr) -> CompiledExpr:
+        pre = self.precomputed.get(expr.to_sql())
+        if pre is not None:
+            pos = pre
+            return lambda row, env: row[pos]
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda row, env: value
+        if isinstance(expr, QGMColumnRef):
+            key = (expr.quantifier, expr.column)
+            if key not in self.layout:
+                raise ExecutionError(
+                    f"column {expr.to_sql()} not in row layout {sorted(self.layout)}"
+                )
+            pos = self.layout[key]
+            return lambda row, env: row[pos]
+        if isinstance(expr, OuterRef):
+            key = (expr.quantifier, expr.column)
+            return _compile_outer_ref(key)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.compile(expr.operand)
+            if expr.op == "NOT":
+                return lambda row, env: tv_not(operand(row, env))
+            if expr.op == "-":
+                def negate(row, env):
+                    value = operand(row, env)
+                    return None if value is None else -value
+
+                return negate
+            raise TypeCheckError(f"unknown unary operator {expr.op!r}")
+        if isinstance(expr, ast.IsNull):
+            operand = self.compile(expr.operand)
+            if expr.negated:
+                return lambda row, env: operand(row, env) is not None
+            return lambda row, env: operand(row, env) is None
+        if isinstance(expr, ast.Between):
+            return self._compile_between(expr)
+        if isinstance(expr, ast.InList):
+            return self._compile_in_list(expr)
+        if isinstance(expr, SubqueryExpr):
+            return self._compile_subquery(expr)
+        if isinstance(expr, ast.FuncCall):
+            return self._compile_func(expr)
+        if isinstance(expr, ast.Case):
+            return self._compile_case(expr)
+        raise TypeCheckError(f"cannot compile expression {expr!r}")
+
+    def compile_predicate(self, expr: ast.Expr) -> CompiledExpr:
+        """Compile to a filter: returns truthiness (None counts as False)."""
+        inner = self.compile(expr)
+        return lambda row, env: inner(row, env) is True
+
+    # -- node-specific compilers -------------------------------------------------
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> CompiledExpr:
+        op = expr.op
+        left = self.compile(expr.left)
+        right = self.compile(expr.right)
+        if op == "AND":
+            return lambda row, env: tv_and(left(row, env), right(row, env))
+        if op == "OR":
+            return lambda row, env: tv_or(left(row, env), right(row, env))
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda row, env: sql_compare(op, left(row, env), right(row, env))
+        if op in ("+", "-", "*", "/", "%", "||"):
+            return lambda row, env: sql_arith(op, left(row, env), right(row, env))
+        if op == "LIKE":
+            return lambda row, env: sql_like(left(row, env), right(row, env))
+        raise TypeCheckError(f"unknown binary operator {op!r}")
+
+    def _compile_between(self, expr: ast.Between) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        low = self.compile(expr.low)
+        high = self.compile(expr.high)
+        negated = expr.negated
+
+        def run(row, env):
+            value = operand(row, env)
+            result = tv_and(
+                sql_compare(">=", value, low(row, env)),
+                sql_compare("<=", value, high(row, env)),
+            )
+            return tv_not(result) if negated else result
+
+        return run
+
+    def _compile_in_list(self, expr: ast.InList) -> CompiledExpr:
+        operand = self.compile(expr.operand)
+        items = [self.compile(item) for item in expr.items]
+        negated = expr.negated
+
+        def run(row, env):
+            value = operand(row, env)
+            result: Optional[bool] = False
+            for item in items:
+                result = tv_or(result, sql_compare("=", value, item(row, env)))
+                if result is True:
+                    break
+            return tv_not(result) if negated else result
+
+        return run
+
+    def _compile_subquery(self, expr: SubqueryExpr) -> CompiledExpr:
+        if self.subplan_factory is None:
+            raise ExecutionError("subquery found but no subplan factory given")
+        from repro.relational.qgm.model import collect_outer_refs
+
+        subplan = self.subplan_factory(expr.box)
+        correlated = expr.correlated
+        negated = expr.negated
+        # Bindings of the *current* row the subquery needs: push them as an
+        # environment frame so OuterRef lookups resolve per outer row.
+        corr_keys = [
+            key for key in sorted(collect_outer_refs(expr.box)) if key in self.layout
+        ]
+        positions = [self.layout[key] for key in corr_keys]
+
+        if corr_keys:
+
+            def sub_env(row, env):
+                frame = {
+                    key: row[pos] for key, pos in zip(corr_keys, positions)
+                }
+                return env + [frame]
+
+        else:
+
+            def sub_env(row, env):
+                return env
+
+        if expr.kind == "EXISTS":
+            cache: Dict[str, bool] = {}
+
+            def run_exists(row, env):
+                if not correlated and "value" in cache:
+                    found = cache["value"]
+                else:
+                    found = any(True for _ in subplan.rows(sub_env(row, env)))
+                    if not correlated:
+                        cache["value"] = found
+                return (not found) if negated else found
+
+            return run_exists
+        if expr.kind == "IN":
+            operand = self.compile(expr.operand)
+            cache: Dict[str, Tuple[set, bool]] = {}
+
+            def run_in(row, env):
+                value = operand(row, env)
+                if value is None:
+                    return None
+                if not correlated and "value" in cache:
+                    values, has_null = cache["value"]
+                else:
+                    values = set()
+                    has_null = False
+                    for sub_row in subplan.rows(sub_env(row, env)):
+                        if sub_row[0] is None:
+                            has_null = True
+                        else:
+                            values.add(sub_row[0])
+                    if not correlated:
+                        cache["value"] = (values, has_null)
+                if value in values:
+                    result: Optional[bool] = True
+                elif has_null:
+                    result = None
+                else:
+                    result = False
+                return tv_not(result) if negated else result
+
+            return run_in
+        if expr.kind == "SCALAR":
+            cache: Dict[str, Any] = {}
+
+            def run_scalar(row, env):
+                if not correlated and "value" in cache:
+                    return cache["value"]
+                result = None
+                seen = False
+                for sub_row in subplan.rows(sub_env(row, env)):
+                    if seen:
+                        raise ExecutionError("scalar subquery returned > 1 row")
+                    result = sub_row[0]
+                    seen = True
+                if not correlated:
+                    cache["value"] = result
+                return result
+
+            return run_scalar
+        raise TypeCheckError(f"unknown subquery kind {expr.kind!r}")
+
+    def _compile_func(self, expr: ast.FuncCall) -> CompiledExpr:
+        if expr.is_aggregate:
+            raise ExecutionError(
+                f"aggregate {expr.name} outside GROUP BY context: {expr.to_sql()}"
+            )
+        args = [self.compile(arg) for arg in expr.args]
+        name = expr.name
+        if name.startswith("CAST_"):
+            return _compile_cast(name[5:], args[0])
+        impl = _SCALAR_IMPLS.get(name)
+        if impl is None:
+            raise TypeCheckError(f"unknown function {name!r}")
+        return lambda row, env: impl([arg(row, env) for arg in args])
+
+    def _compile_case(self, expr: ast.Case) -> CompiledExpr:
+        whens = [
+            (self.compile(cond), self.compile(result)) for cond, result in expr.whens
+        ]
+        else_fn = (
+            self.compile(expr.else_result) if expr.else_result is not None else None
+        )
+
+        def run(row, env):
+            for cond, result in whens:
+                if cond(row, env) is True:
+                    return result(row, env)
+            if else_fn is not None:
+                return else_fn(row, env)
+            return None
+
+        return run
+
+
+def _compile_outer_ref(key: Tuple[str, str]) -> CompiledExpr:
+    def run(row, env):
+        for frame in reversed(env):
+            if key in frame:
+                return frame[key]
+        raise ExecutionError(f"unbound outer reference {key[0]}.{key[1]}")
+
+    return run
+
+
+def _compile_cast(type_name: str, arg: CompiledExpr) -> CompiledExpr:
+    def run(row, env):
+        value = arg(row, env)
+        if value is None:
+            return None
+        try:
+            if type_name in ("INTEGER", "INT", "BIGINT", "SMALLINT"):
+                return int(float(value)) if isinstance(value, str) else int(value)
+            if type_name in ("FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC"):
+                return float(value)
+            if type_name in ("VARCHAR", "CHAR", "TEXT", "STRING"):
+                if isinstance(value, bool):
+                    return "TRUE" if value else "FALSE"
+                return str(value)
+            if type_name in ("BOOLEAN", "BOOL"):
+                return bool(value)
+        except (TypeError, ValueError) as exc:
+            raise ExecutionError(f"CAST to {type_name} failed: {exc}") from exc
+        raise TypeCheckError(f"unknown CAST target {type_name}")
+
+    return run
+
+
+def _scalar_abs(args):
+    return None if args[0] is None else abs(args[0])
+
+
+def _scalar_lower(args):
+    return None if args[0] is None else str(args[0]).lower()
+
+
+def _scalar_upper(args):
+    return None if args[0] is None else str(args[0]).upper()
+
+
+def _scalar_length(args):
+    return None if args[0] is None else len(str(args[0]))
+
+
+def _scalar_coalesce(args):
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _scalar_nullif(args):
+    if len(args) != 2:
+        raise TypeCheckError("NULLIF takes two arguments")
+    return None if args[0] == args[1] else args[0]
+
+
+def _scalar_round(args):
+    if args[0] is None:
+        return None
+    digits = args[1] if len(args) > 1 and args[1] is not None else 0
+    return round(args[0], int(digits))
+
+
+def _scalar_mod(args):
+    if args[0] is None or args[1] is None:
+        return None
+    return sql_arith("%", args[0], args[1])
+
+
+def _scalar_substr(args):
+    if args[0] is None or args[1] is None:
+        return None
+    text = str(args[0])
+    start = int(args[1]) - 1  # SQL is 1-based
+    if len(args) > 2 and args[2] is not None:
+        return text[start : start + int(args[2])]
+    return text[start:]
+
+
+_SCALAR_IMPLS = {
+    "ABS": _scalar_abs,
+    "LOWER": _scalar_lower,
+    "UPPER": _scalar_upper,
+    "LENGTH": _scalar_length,
+    "COALESCE": _scalar_coalesce,
+    "NULLIF": _scalar_nullif,
+    "ROUND": _scalar_round,
+    "MOD": _scalar_mod,
+    "SUBSTR": _scalar_substr,
+}

@@ -1,0 +1,42 @@
+"""Hash index: equality lookups in O(1)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.relational.indexes.base import Index, Key
+from repro.relational.storage.heap import RID
+
+
+class HashIndex(Index):
+    """Dictionary-backed equality index."""
+
+    supports_range = False
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._buckets: Dict[Key, Set[RID]] = {}
+        self._size = 0
+
+    def search(self, key: Key) -> List[RID]:
+        return sorted(self._buckets.get(key, ()))
+
+    def _insert(self, key: Key, rid: RID) -> None:
+        bucket = self._buckets.setdefault(key, set())
+        if rid not in bucket:
+            bucket.add(rid)
+            self._size += 1
+
+    def _delete(self, key: Key, rid: RID) -> None:
+        bucket = self._buckets.get(key)
+        if bucket and rid in bucket:
+            bucket.discard(rid)
+            self._size -= 1
+            if not bucket:
+                del self._buckets[key]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,16 @@
+"""Cost-based plan optimizer.
+
+Selinger-style: per SELECT box, choose access paths (sequential scan vs
+index equality/range scan), then a left-deep join order by dynamic
+programming over quantifier subsets, picking hash-, index-nested-loop- or
+nested-loop joins per edge.  Statistics come from ``ANALYZE``
+(:meth:`repro.relational.catalog.Table.analyze`); defaults apply otherwise.
+
+The paper's point that "no significant change is required in the plan
+optimization" for XNF holds here by construction: the XNF semantic rewrite
+produces ordinary boxes, and this module never sees anything else.
+"""
+
+from repro.relational.optimizer.planner import Planner, CompiledPlan
+
+__all__ = ["Planner", "CompiledPlan"]

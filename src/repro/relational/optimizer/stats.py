@@ -1,0 +1,84 @@
+"""Cardinality and selectivity estimation.
+
+Classic System-R defaults: 1/n_distinct for equality (0.1 when unknown),
+1/3 for ranges, 1/4 for LIKE, 1/3 for anything else.  Estimates only steer
+join order and access-path choice; execution is always exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.relational.catalog import Table
+from repro.relational.qgm.model import (
+    OuterRef,
+    QGMColumnRef,
+    SubqueryExpr,
+    referenced_quantifiers,
+)
+from repro.relational.sql import ast
+
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_OTHER_SELECTIVITY = 1.0 / 3.0
+
+
+def predicate_selectivity(pred: ast.Expr, table: Optional[Table] = None) -> float:
+    """Estimated fraction of rows satisfying *pred*."""
+    if isinstance(pred, ast.BinaryOp):
+        if pred.op == "=":
+            column = _single_column(pred)
+            if column is not None and table is not None:
+                stats = table.stats.columns.get(column)
+                if stats is not None and stats.n_distinct > 0:
+                    return 1.0 / stats.n_distinct
+            return DEFAULT_EQ_SELECTIVITY
+        if pred.op in ("<", "<=", ">", ">="):
+            return DEFAULT_RANGE_SELECTIVITY
+        if pred.op == "LIKE":
+            return DEFAULT_LIKE_SELECTIVITY
+        if pred.op == "AND":
+            return predicate_selectivity(pred.left, table) * predicate_selectivity(
+                pred.right, table
+            )
+        if pred.op == "OR":
+            left = predicate_selectivity(pred.left, table)
+            right = predicate_selectivity(pred.right, table)
+            return min(1.0, left + right - left * right)
+    if isinstance(pred, ast.Between):
+        return DEFAULT_RANGE_SELECTIVITY
+    if isinstance(pred, ast.InList):
+        return min(1.0, DEFAULT_EQ_SELECTIVITY * max(1, len(pred.items)))
+    if isinstance(pred, ast.IsNull):
+        return DEFAULT_EQ_SELECTIVITY
+    if isinstance(pred, SubqueryExpr):
+        return 0.5
+    return DEFAULT_OTHER_SELECTIVITY
+
+
+def _single_column(pred: ast.BinaryOp) -> Optional[str]:
+    """Column name when the predicate is col <op> constant-ish."""
+    for side, other in ((pred.left, pred.right), (pred.right, pred.left)):
+        if isinstance(side, QGMColumnRef) and isinstance(
+            other, (ast.Literal, OuterRef)
+        ):
+            return side.column
+    return None
+
+
+def join_selectivity(
+    pred: ast.Expr, left_table: Optional[Table], right_table: Optional[Table]
+) -> float:
+    """Selectivity of an equi-join predicate: 1/max(distinct counts)."""
+    if isinstance(pred, ast.BinaryOp) and pred.op == "=":
+        distincts = []
+        for table, side in ((left_table, pred.left), (right_table, pred.right)):
+            if table is not None and isinstance(side, QGMColumnRef):
+                stats = table.stats.columns.get(side.column)
+                if stats is not None and stats.n_distinct > 0:
+                    distincts.append(stats.n_distinct)
+        if distincts:
+            return 1.0 / max(distincts)
+        return DEFAULT_EQ_SELECTIVITY
+    return DEFAULT_OTHER_SELECTIVITY

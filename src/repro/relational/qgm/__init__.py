@@ -1,0 +1,45 @@
+"""Query Graph Model (QGM).
+
+Starburst's internal query representation, as sketched in section 4.3 of the
+paper: "Queries are represented as a series of high level operators (e.g.
+SELECT, GROUP BY, UNION ...) on either base tables or derived tables.  An
+operator consists of a head and a body: the head describes the output table
+and the body shows how this table is derived from other tables".
+
+We model boxes (:class:`BaseTableBox`, :class:`SelectBox`,
+:class:`GroupByBox`, :class:`SetOpBox`, :class:`ValuesBox`) connected by
+:class:`Quantifier` edges.  The XNF layer adds its own
+:class:`repro.xnf.semantic_rewrite.XNFBox` which the *XNF semantic rewrite*
+step lowers to the plain boxes below — enabling full reuse of the rewrite
+engine, optimizer and executor, the paper's main implementation claim.
+"""
+
+from repro.relational.qgm.model import (
+    Box,
+    BaseTableBox,
+    SelectBox,
+    GroupByBox,
+    SetOpBox,
+    ValuesBox,
+    Quantifier,
+    HeadColumn,
+    QGMColumnRef,
+    OuterRef,
+    SubqueryExpr,
+)
+from repro.relational.qgm.build import QGMBuilder
+
+__all__ = [
+    "Box",
+    "BaseTableBox",
+    "SelectBox",
+    "GroupByBox",
+    "SetOpBox",
+    "ValuesBox",
+    "Quantifier",
+    "HeadColumn",
+    "QGMColumnRef",
+    "OuterRef",
+    "SubqueryExpr",
+    "QGMBuilder",
+]

@@ -1,0 +1,12 @@
+"""Rule-based query rewrite, after Starburst's rewrite engine [PHH92].
+
+The paper leans on this component twice: ordinary view merging ("merging of
+views with queries, predicate pushdown") and the claim that XNF needs *no
+changes* here because the XNF semantic rewrite emits plain SQL boxes first.
+Experiment E5 ablates these rules to show their effect on path-expression
+queries.
+"""
+
+from repro.relational.rewrite.engine import Rewriter
+
+__all__ = ["Rewriter"]

@@ -1,0 +1,373 @@
+"""QGM rewrite rules: select-box merging, predicate pushdown, folding.
+
+Rules run to a (bounded) fixpoint.  Each rule preserves bag semantics:
+
+* **merge** — a quantifier over a plain SPJ child box is inlined into its
+  parent (covers SQL view merging, since views become derived quantifiers),
+* **pushdown** — a parent predicate referencing exactly one derived
+  quantifier moves inside that child (also through set-operation arms),
+* **fold** — constant arithmetic/comparisons evaluate at compile time and
+  trivially-true conjuncts disappear.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.qgm.model import (
+    BaseTableBox,
+    Box,
+    GroupByBox,
+    HeadColumn,
+    OuterRef,
+    QGMColumnRef,
+    Quantifier,
+    SelectBox,
+    SetOpBox,
+    SubqueryExpr,
+    TopBox,
+    ValuesBox,
+    walk_resolved,
+)
+from repro.relational.sql import ast
+from repro.relational.types import sql_arith, sql_compare
+
+_MAX_PASSES = 10
+
+
+class Rewriter:
+    """Applies the rewrite rules to a box tree, in place."""
+
+    def __init__(self, enable_merge: bool = True, enable_pushdown: bool = True,
+                 enable_fold: bool = True):
+        self.enable_merge = enable_merge
+        self.enable_pushdown = enable_pushdown
+        self.enable_fold = enable_fold
+        self.merges = 0
+        self.pushdowns = 0
+        self.folds = 0
+
+    def rewrite(self, box: Box) -> Box:
+        for _ in range(_MAX_PASSES):
+            before = (self.merges, self.pushdowns, self.folds)
+            box = self._rewrite_box(box)
+            if (self.merges, self.pushdowns, self.folds) == before:
+                break
+        return box
+
+    # -- traversal --------------------------------------------------------------
+
+    def _rewrite_box(self, box: Box) -> Box:
+        if isinstance(box, SelectBox):
+            return self._rewrite_select(box)
+        if isinstance(box, GroupByBox):
+            if box.input is not None:
+                box.input.box = self._rewrite_box(box.input.box)
+            if self.enable_fold:
+                box.having = self._fold_predicates(box.having)
+                for col in box.head:
+                    col.expr = self._fold(col.expr)
+            self._rewrite_subqueries_in(box)
+            return box
+        if isinstance(box, SetOpBox):
+            box.left = self._rewrite_box(box.left)
+            box.right = self._rewrite_box(box.right)
+            return box
+        if isinstance(box, TopBox):
+            box.child = self._rewrite_box(box.child)
+            return box
+        return box
+
+    def _rewrite_select(self, box: SelectBox) -> Box:
+        for quant in box.quantifiers:
+            quant.box = self._rewrite_box(quant.box)
+        if self.enable_fold:
+            box.predicates = self._fold_predicates(box.predicates)
+            for col in box.head:
+                col.expr = self._fold(col.expr)
+        if self.enable_merge:
+            self._merge_children(box)
+        if self.enable_pushdown:
+            self._push_down(box)
+        self._rewrite_subqueries_in(box)
+        return box
+
+    def _rewrite_subqueries_in(self, box: Box) -> None:
+        from repro.relational.qgm.model import box_expressions
+
+        for expr in box_expressions(box):
+            for node in walk_resolved(expr):
+                if isinstance(node, SubqueryExpr):
+                    node.box = self._rewrite_box(node.box)
+
+    # -- rule: merge SPJ child boxes ----------------------------------------------
+
+    def _merge_children(self, box: SelectBox) -> None:
+        outer_names = {name for name, _ in box.outer_joins}
+        changed = True
+        while changed:
+            changed = False
+            for quant in list(box.quantifiers):
+                if quant.name in outer_names:
+                    continue  # null-supplying sides keep their box boundary
+                child = quant.box
+                if not self._mergeable(child):
+                    continue
+                self._merge_one(box, quant, child)  # type: ignore[arg-type]
+                self.merges += 1
+                changed = True
+                break
+
+    def _mergeable(self, child: Box) -> bool:
+        return (
+            isinstance(child, SelectBox)
+            and not child.distinct
+            and not child.outer_joins
+            and len(child.quantifiers) >= 1
+        )
+
+    def _merge_one(
+        self, box: SelectBox, quant: Quantifier, child: SelectBox
+    ) -> None:
+        taken = {q.name for q in box.quantifiers if q is not quant}
+        rename: Dict[str, str] = {}
+        for inner in child.quantifiers:
+            new_name = inner.name
+            while new_name in taken:
+                new_name = f"{new_name}_{child.id}"
+            rename[inner.name] = new_name
+            taken.add(new_name)
+
+        def rename_expr(expr: ast.Expr) -> ast.Expr:
+            return _substitute(
+                expr,
+                lambda ref: QGMColumnRef(
+                    rename.get(ref.quantifier, ref.quantifier), ref.column
+                ),
+            )
+
+        head_map = {
+            col.name: rename_expr(col.expr) for col in child.head
+        }
+
+        def replace_ref(ref: QGMColumnRef) -> ast.Expr:
+            if ref.quantifier != quant.name:
+                return ref
+            if ref.column not in head_map:
+                raise ExecutionError(
+                    f"merge: column {ref.column} missing from child head"
+                )
+            return head_map[ref.column]
+
+        for col in box.head:
+            col.expr = _substitute(col.expr, replace_ref)
+        box.predicates = [_substitute(p, replace_ref) for p in box.predicates]
+        box.outer_joins = [
+            (name, [_substitute(p, replace_ref) for p in preds])
+            for name, preds in box.outer_joins
+        ]
+        position = box.quantifiers.index(quant)
+        new_quants = [
+            Quantifier(rename[inner.name], inner.box, inner.kind)
+            for inner in child.quantifiers
+        ]
+        box.quantifiers[position : position + 1] = new_quants
+        box.predicates.extend(rename_expr(p) for p in child.predicates)
+
+    # -- rule: predicate pushdown ----------------------------------------------------
+
+    def _push_down(self, box: SelectBox) -> None:
+        outer_names = {name for name, _ in box.outer_joins}
+        kept: List[ast.Expr] = []
+        for pred in box.predicates:
+            refs = {
+                node.quantifier
+                for node in walk_resolved(pred)
+                if isinstance(node, QGMColumnRef)
+            }
+            if len(refs) != 1:
+                kept.append(pred)
+                continue
+            name = next(iter(refs))
+            if name in outer_names:
+                kept.append(pred)
+                continue
+            quant = box.quantifier(name)
+            if self._push_into(quant.box, name, pred):
+                self.pushdowns += 1
+            else:
+                kept.append(pred)
+        box.predicates = kept
+
+    def _push_into(self, child: Box, qname: str, pred: ast.Expr) -> bool:
+        """Try to move *pred* (which references only *qname*) inside child."""
+        if isinstance(child, SelectBox):
+            # Child must be one the merge rule skipped (e.g. DISTINCT);
+            # filtering before DISTINCT over whole rows is equivalent.
+            head_map = {col.name: col.expr for col in child.head}
+
+            def replace(ref: QGMColumnRef) -> ast.Expr:
+                if ref.quantifier != qname:
+                    return ref
+                return head_map[ref.column]
+
+            try:
+                child.predicates.append(_substitute(pred, replace))
+            except KeyError:
+                return False
+            return True
+        if isinstance(child, SetOpBox):
+            # Distribute over both arms; each arm sees the predicate over its
+            # own head.  Safe for UNION/INTERSECT/EXCEPT in both variants.
+            columns = child.output_columns()
+            for arm_attr in ("left", "right"):
+                arm = getattr(child, arm_attr)
+                arm_columns = arm.output_columns()
+                mapping = dict(zip(columns, arm_columns))
+
+                def replace_arm(ref: QGMColumnRef, mapping=mapping):
+                    if ref.quantifier != qname:
+                        return ref
+                    return QGMColumnRef("__arm__", mapping[ref.column])
+
+                arm_pred = _substitute(pred, replace_arm)
+                wrapped = _wrap_with_filter(arm, arm_pred)
+                if wrapped is None:
+                    return False
+                setattr(child, arm_attr, wrapped)
+            return True
+        return False
+
+    # -- rule: constant folding -----------------------------------------------------
+
+    def _fold_predicates(self, preds: List[ast.Expr]) -> List[ast.Expr]:
+        result: List[ast.Expr] = []
+        for pred in preds:
+            folded = self._fold(pred)
+            if isinstance(folded, ast.Literal) and folded.value is True:
+                self.folds += 1
+                continue
+            result.append(folded)
+        return result
+
+    def _fold(self, expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.BinaryOp):
+            left = self._fold(expr.left)
+            right = self._fold(expr.right)
+            if isinstance(left, ast.Literal) and isinstance(right, ast.Literal):
+                value = _eval_const(expr.op, left.value, right.value)
+                if value is not _NO_FOLD:
+                    self.folds += 1
+                    return ast.Literal(value)
+            if expr.op == "AND":
+                if isinstance(left, ast.Literal) and left.value is True:
+                    self.folds += 1
+                    return right
+                if isinstance(right, ast.Literal) and right.value is True:
+                    self.folds += 1
+                    return left
+            return ast.BinaryOp(expr.op, left, right)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._fold(expr.operand)
+            if (
+                expr.op == "-"
+                and isinstance(operand, ast.Literal)
+                and isinstance(operand.value, (int, float))
+            ):
+                self.folds += 1
+                return ast.Literal(-operand.value)
+            return ast.UnaryOp(expr.op, operand)
+        return expr
+
+
+_NO_FOLD = object()
+
+
+def _eval_const(op: str, left, right):
+    try:
+        if op in ("+", "-", "*", "/", "%", "||"):
+            return sql_arith(op, left, right)
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return sql_compare(op, left, right)
+    except Exception:
+        return _NO_FOLD
+    return _NO_FOLD
+
+
+def _substitute(expr: ast.Expr, replace) -> ast.Expr:
+    """Rebuild *expr* with every QGMColumnRef passed through *replace*."""
+    if isinstance(expr, QGMColumnRef):
+        return replace(expr)
+    if isinstance(expr, (ast.Literal, OuterRef)):
+        return expr
+    if isinstance(expr, SubqueryExpr):
+        # References inside the subquery box to the merged quantifier are
+        # OuterRefs (different node type), which stay valid because the
+        # substitution only renames/inlines refs of the *current* box.
+        operand = (
+            _substitute(expr.operand, replace) if expr.operand is not None else None
+        )
+        return SubqueryExpr(expr.kind, expr.box, operand, expr.negated, expr.correlated)
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op, _substitute(expr.left, replace), _substitute(expr.right, replace)
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _substitute(expr.operand, replace))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_substitute(expr.operand, replace), expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            _substitute(expr.operand, replace),
+            _substitute(expr.low, replace),
+            _substitute(expr.high, replace),
+            expr.negated,
+        )
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            _substitute(expr.operand, replace),
+            [_substitute(item, replace) for item in expr.items],
+            expr.negated,
+        )
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            [_substitute(arg, replace) for arg in expr.args],
+            distinct=expr.distinct,
+            star=expr.star,
+        )
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            [
+                (_substitute(cond, replace), _substitute(result, replace))
+                for cond, result in expr.whens
+            ],
+            (
+                _substitute(expr.else_result, replace)
+                if expr.else_result is not None
+                else None
+            ),
+        )
+    return expr
+
+
+def _wrap_with_filter(arm: Box, pred: ast.Expr) -> Optional[Box]:
+    """Wrap a set-op arm in a filtering SelectBox (pred over '__arm__')."""
+    if isinstance(arm, SelectBox) and not arm.distinct:
+        head_map = {col.name: col.expr for col in arm.head}
+
+        def replace(ref: QGMColumnRef) -> ast.Expr:
+            if ref.quantifier != "__arm__":
+                return ref
+            return head_map[ref.column]
+
+        arm.predicates.append(_substitute(pred, replace))
+        return arm
+    wrapper = SelectBox("pushdown")
+    quant = Quantifier("__arm__", arm)
+    wrapper.quantifiers.append(quant)
+    for col in arm.output_columns():
+        wrapper.head.append(HeadColumn(col, QGMColumnRef("__arm__", col)))
+    wrapper.predicates.append(pred)
+    return wrapper

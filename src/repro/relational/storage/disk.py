@@ -1,0 +1,48 @@
+"""Simulated disk: a flat page array with I/O counters.
+
+Reads and writes copy the page image, so the buffer pool really is the only
+place where live page objects exist — exactly the boundary a clustering
+experiment needs to count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.relational.storage.page import Page, DEFAULT_PAGE_SIZE
+
+
+class DiskManager:
+    """Allocates page ids and stores page images.
+
+    ``reads``/``writes`` count physical page transfers; benchmarks reset
+    them via :meth:`reset_stats`.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+        self.page_size = page_size
+        self._pages: Dict[int, Page] = {}
+        self._next_page_id = 0
+        self.reads = 0
+        self.writes = 0
+
+    def allocate(self) -> int:
+        page_id = self._next_page_id
+        self._next_page_id += 1
+        self._pages[page_id] = Page(page_id, self.page_size)
+        return page_id
+
+    def read(self, page_id: int) -> Page:
+        self.reads += 1
+        return self._pages[page_id].copy()
+
+    def write(self, page: Page) -> None:
+        self.writes += 1
+        self._pages[page.page_id] = page.copy()
+
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def reset_stats(self) -> None:
+        self.reads = 0
+        self.writes = 0

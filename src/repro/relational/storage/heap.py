@@ -1,0 +1,130 @@
+"""Heap files: unordered per-table row storage over the buffer pool.
+
+A heap file tracks the set of pages that contain at least one of its rows.
+Because page slots are tagged with the owning table, several heap files may
+share pages — that is how :class:`~repro.relational.storage.cluster.CoCluster`
+achieves composite-object clustering without changing the executor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.relational.storage.buffer import BufferPool
+from repro.relational.storage.page import Page
+
+
+class RID(NamedTuple):
+    """Row identifier: physical address of a row."""
+
+    page_id: int
+    slot: int
+
+
+class HeapFile:
+    """Unordered collection of rows belonging to one table."""
+
+    def __init__(self, table: str, buffer_pool: BufferPool):
+        self.table = table
+        self.buffer_pool = buffer_pool
+        self._page_ids: List[int] = []
+        self._page_id_set: set[int] = set()
+        self.row_count = 0
+
+    # -- write path ----------------------------------------------------------
+
+    def insert(self, row: Tuple[Any, ...]) -> RID:
+        """Insert at the end of the file (last page, else a new page)."""
+        if self._page_ids:
+            last_id = self._page_ids[-1]
+            page = self.buffer_pool.fetch(last_id)
+            if page.can_fit(row):
+                slot = page.insert(self.table, row)
+                self.buffer_pool.unpin(last_id, dirty=True)
+                self.row_count += 1
+                return RID(last_id, slot)
+            self.buffer_pool.unpin(last_id)
+        page = self.buffer_pool.new_page()
+        slot = page.insert(self.table, row)
+        self.register_page(page.page_id)
+        self.buffer_pool.unpin(page.page_id, dirty=True)
+        self.row_count += 1
+        return RID(page.page_id, slot)
+
+    def insert_on_page(self, page: Page, row: Tuple[Any, ...]) -> RID:
+        """Insert onto a specific (already pinned) page — used by CoCluster."""
+        slot = page.insert(self.table, row)
+        self.register_page(page.page_id)
+        self.row_count += 1
+        return RID(page.page_id, slot)
+
+    def update(self, rid: RID, row: Tuple[Any, ...]) -> None:
+        page = self.buffer_pool.fetch(rid.page_id)
+        try:
+            content = page.read(rid.slot)
+            if content is None or content[0] != self.table:
+                raise ExecutionError(f"update of missing row {rid} in {self.table}")
+            page.update(rid.slot, row)
+        finally:
+            self.buffer_pool.unpin(rid.page_id, dirty=True)
+
+    def delete(self, rid: RID) -> None:
+        page = self.buffer_pool.fetch(rid.page_id)
+        try:
+            content = page.read(rid.slot)
+            if content is None or content[0] != self.table:
+                raise ExecutionError(f"delete of missing row {rid} in {self.table}")
+            page.delete(rid.slot)
+        finally:
+            self.buffer_pool.unpin(rid.page_id, dirty=True)
+        self.row_count -= 1
+
+    # -- read path -----------------------------------------------------------
+
+    def fetch_row(self, rid: RID) -> Tuple[Any, ...]:
+        page = self.buffer_pool.fetch(rid.page_id)
+        try:
+            content = page.read(rid.slot)
+            if content is None or content[0] != self.table:
+                raise ExecutionError(f"fetch of missing row {rid} in {self.table}")
+            return content[1]
+        finally:
+            self.buffer_pool.unpin(rid.page_id)
+
+    def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        """Yield (rid, row) for every live row of this table."""
+        # Snapshot the page list: concurrent inserts may extend it.
+        for page_id in list(self._page_ids):
+            page = self.buffer_pool.fetch(page_id)
+            try:
+                rows = [
+                    (RID(page_id, slot), content[1])
+                    for slot, content in enumerate(page.slots)
+                    if content is not None and content[0] == self.table
+                ]
+            finally:
+                self.buffer_pool.unpin(page_id)
+            yield from rows
+
+    def register_page(self, page_id: int) -> None:
+        if page_id not in self._page_id_set:
+            self._page_id_set.add(page_id)
+            self._page_ids.append(page_id)
+
+    def num_pages(self) -> int:
+        return len(self._page_ids)
+
+    def truncate(self) -> None:
+        """Delete all rows of this table (pages may be shared, so per-slot)."""
+        for page_id in list(self._page_ids):
+            page = self.buffer_pool.fetch(page_id)
+            try:
+                for slot, content in enumerate(page.slots):
+                    if content is not None and content[0] == self.table:
+                        page.delete(slot)
+            finally:
+                self.buffer_pool.unpin(page_id, dirty=True)
+        self._page_ids.clear()
+        self._page_id_set.clear()
+        self.row_count = 0

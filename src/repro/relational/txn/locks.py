@@ -1,0 +1,70 @@
+"""Table-granularity lock manager with a no-wait conflict policy.
+
+The engine is embedded and single-threaded, so instead of blocking, a
+conflicting request raises :class:`DeadlockError` immediately ("no-wait"
+deadlock avoidance — the policy Tandem NonStop SQL shipped with).  Sessions
+catch it and abort, exactly like a victim of deadlock detection would.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Set, Tuple
+
+from repro.errors import DeadlockError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockManager:
+    """Tracks table locks per transaction id."""
+
+    def __init__(self):
+        # table -> {txn_id: mode}
+        self._locks: Dict[str, Dict[int, LockMode]] = {}
+
+    def acquire(self, txn_id: int, table: str, mode: LockMode) -> None:
+        holders = self._locks.setdefault(table, {})
+        current = holders.get(txn_id)
+        if current is LockMode.EXCLUSIVE or current is mode:
+            return
+        others = {t: m for t, m in holders.items() if t != txn_id}
+        if mode is LockMode.SHARED:
+            if any(m is LockMode.EXCLUSIVE for m in others.values()):
+                raise DeadlockError(
+                    f"txn {txn_id}: table {table} is X-locked by another transaction"
+                )
+        else:
+            if others:
+                raise DeadlockError(
+                    f"txn {txn_id}: table {table} is locked by another transaction"
+                )
+        holders[txn_id] = mode
+
+    def release(self, txn_id: int, table: str) -> None:
+        holders = self._locks.get(table)
+        if holders:
+            holders.pop(txn_id, None)
+            if not holders:
+                del self._locks[table]
+
+    def release_all(self, txn_id: int) -> None:
+        for table in list(self._locks):
+            self.release(txn_id, table)
+
+    def release_shared(self, txn_id: int) -> None:
+        """Release only S locks (cursor-stability end-of-statement)."""
+        for table, holders in list(self._locks.items()):
+            if holders.get(txn_id) is LockMode.SHARED:
+                self.release(txn_id, table)
+
+    def held(self, txn_id: int) -> Set[Tuple[str, LockMode]]:
+        return {
+            (table, mode)
+            for table, holders in self._locks.items()
+            for holder, mode in holders.items()
+            if holder == txn_id
+        }

@@ -1,0 +1,130 @@
+"""Transaction manager: undo lists, WAL integration, recovery replay."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import TransactionError
+from repro.relational.catalog import Table
+from repro.relational.storage.heap import RID
+from repro.relational.txn import wal as wal_kinds
+from repro.relational.txn.locks import LockManager, LockMode
+from repro.relational.txn.wal import WriteAheadLog
+
+
+class IsolationLevel(enum.Enum):
+    """The two degrees of isolation the paper names (section 1)."""
+
+    REPEATABLE_READ = "repeatable read"
+    CURSOR_STABILITY = "cursor stability"
+
+
+@dataclass
+class _UndoEntry:
+    kind: str  # INSERT / DELETE / UPDATE
+    table: Table
+    rid: Optional[RID]
+    before: Optional[Tuple[Any, ...]] = None
+    after: Optional[Tuple[Any, ...]] = None
+
+
+@dataclass
+class Transaction:
+    txn_id: int
+    isolation: IsolationLevel
+    undo: List[_UndoEntry] = field(default_factory=list)
+    active: bool = True
+
+
+class TransactionManager:
+    """Coordinates transactions, the lock manager, and the WAL."""
+
+    def __init__(self):
+        self.locks = LockManager()
+        self.wal = WriteAheadLog()
+        self._ids = itertools.count(1)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(
+        self, isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ
+    ) -> Transaction:
+        txn = Transaction(next(self._ids), isolation)
+        self.wal.append(txn.txn_id, wal_kinds.BEGIN)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        self._check_active(txn)
+        self.wal.append(txn.txn_id, wal_kinds.COMMIT)
+        txn.active = False
+        txn.undo.clear()
+        self.locks.release_all(txn.txn_id)
+
+    def rollback(self, txn: Transaction) -> None:
+        self._check_active(txn)
+        for entry in reversed(txn.undo):
+            if entry.kind == wal_kinds.INSERT:
+                entry.table.undo_insert(entry.rid)  # type: ignore[arg-type]
+            elif entry.kind == wal_kinds.DELETE:
+                entry.table.undo_delete(entry.before)  # type: ignore[arg-type]
+            elif entry.kind == wal_kinds.UPDATE:
+                entry.table.undo_update(entry.rid, entry.before)  # type: ignore[arg-type]
+        self.wal.append(txn.txn_id, wal_kinds.ABORT)
+        txn.active = False
+        txn.undo.clear()
+        self.locks.release_all(txn.txn_id)
+
+    def _check_active(self, txn: Transaction) -> None:
+        if not txn.active:
+            raise TransactionError(f"transaction {txn.txn_id} is not active")
+
+    # -- change recording (called by the engine's DML paths) ---------------------------
+
+    def record_insert(self, txn: Transaction, table: Table, rid: RID, row) -> None:
+        txn.undo.append(_UndoEntry(wal_kinds.INSERT, table, rid, after=row))
+        self.wal.append(txn.txn_id, wal_kinds.INSERT, table.name, after=row)
+
+    def record_delete(self, txn: Transaction, table: Table, rid: RID, row) -> None:
+        txn.undo.append(_UndoEntry(wal_kinds.DELETE, table, rid, before=row))
+        self.wal.append(txn.txn_id, wal_kinds.DELETE, table.name, before=row)
+
+    def record_update(
+        self, txn: Transaction, table: Table, rid: RID, before, after
+    ) -> None:
+        txn.undo.append(
+            _UndoEntry(wal_kinds.UPDATE, table, rid, before=before, after=after)
+        )
+        self.wal.append(
+            txn.txn_id, wal_kinds.UPDATE, table.name, before=before, after=after
+        )
+
+    # -- recovery -----------------------------------------------------------------
+
+    def recover_into(self, database) -> int:
+        """Replay committed work from this WAL into *database*.
+
+        *database* must contain the schema (tables/indexes) but no rows —
+        the caller simulates a crash by rebuilding the schema and replaying.
+        Returns the number of records applied.
+        """
+        committed = self.wal.committed_txns()
+        applied = 0
+        for record in self.wal.records:
+            if record.txn_id not in committed:
+                continue
+            if record.kind == wal_kinds.INSERT:
+                table = database.catalog.get_table(record.table)
+                table.redo_insert(record.after)
+                applied += 1
+            elif record.kind == wal_kinds.DELETE:
+                table = database.catalog.get_table(record.table)
+                table.redo_delete(record.before)
+                applied += 1
+            elif record.kind == wal_kinds.UPDATE:
+                table = database.catalog.get_table(record.table)
+                table.redo_update(record.before, record.after)
+                applied += 1
+        return applied

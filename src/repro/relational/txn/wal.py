@@ -1,0 +1,57 @@
+"""Write-ahead log with logical records.
+
+Records carry full before/after row images, so the log alone is sufficient
+to redo committed work into an empty database (see
+:func:`repro.relational.txn.manager.TransactionManager.recover_into`) —
+the property the recovery tests exercise with a simulated crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+#: record kinds
+BEGIN = "BEGIN"
+COMMIT = "COMMIT"
+ABORT = "ABORT"
+INSERT = "INSERT"
+DELETE = "DELETE"
+UPDATE = "UPDATE"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    lsn: int
+    txn_id: int
+    kind: str
+    table: Optional[str] = None
+    before: Optional[Tuple[Any, ...]] = None
+    after: Optional[Tuple[Any, ...]] = None
+
+
+class WriteAheadLog:
+    """Append-only log; ``records`` simulates stable storage."""
+
+    def __init__(self):
+        self.records: List[LogRecord] = []
+        self._lsn = itertools.count(1)
+
+    def append(
+        self,
+        txn_id: int,
+        kind: str,
+        table: Optional[str] = None,
+        before: Optional[Tuple[Any, ...]] = None,
+        after: Optional[Tuple[Any, ...]] = None,
+    ) -> LogRecord:
+        record = LogRecord(next(self._lsn), txn_id, kind, table, before, after)
+        self.records.append(record)
+        return record
+
+    def committed_txns(self) -> set:
+        return {r.txn_id for r in self.records if r.kind == COMMIT}
+
+    def __len__(self) -> int:
+        return len(self.records)

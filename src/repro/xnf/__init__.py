@@ -1,0 +1,37 @@
+"""SQL/XNF: the composite-object layer — the paper's contribution.
+
+Modules, following the paper's own decomposition:
+
+* :mod:`~repro.xnf.lang` — the XNF language (section 3): ``OUT OF … TAKE``
+  CO constructor, ``RELATE`` relationship constructor, SUCH THAT node/edge
+  restrictions, structural projection, path expressions, CO views, CO DML.
+* :mod:`~repro.xnf.schema` — CO schema graphs: nodes, directed edges,
+  roots, recursion, schema sharing, well-formedness (section 2).
+* :mod:`~repro.xnf.views` — resolution of OUT OF clauses against the XNF
+  view catalog into a self-contained CO definition (sections 3.2–3.4).
+* :mod:`~repro.xnf.semantic_rewrite` — the *XNF semantic rewrite* of
+  section 4.3: one generated SQL query per node and per edge, with common
+  subexpressions materialised, and a semi-naive fixpoint for recursive COs.
+* :mod:`~repro.xnf.stream` — the heterogeneous answer stream.
+* :mod:`~repro.xnf.cache`, :mod:`~repro.xnf.cursors`,
+  :mod:`~repro.xnf.paths` — the application cache: pointer-linked tuples,
+  independent/dependent cursors, path-expression navigation (sections 3.5,
+  3.7, 4.2).
+* :mod:`~repro.xnf.restrict` — instance-level restriction evaluation for
+  predicates containing path expressions.
+* :mod:`~repro.xnf.manipulate` — udi-operations and connect/disconnect
+  with propagation to base tables (section 3.7).
+* :mod:`~repro.xnf.closure` — the four query classes of Fig. 6.
+* :mod:`~repro.xnf.api` — :class:`~repro.xnf.api.XNFSession`, the public
+  entry point.
+"""
+
+__all__ = ["XNFSession"]
+
+
+def __getattr__(name: str):
+    if name == "XNFSession":
+        from repro.xnf.api import XNFSession
+
+        return XNFSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

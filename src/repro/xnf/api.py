@@ -1,0 +1,360 @@
+"""Public API: :class:`XNFSession` and :class:`CompositeObject`.
+
+This is the "XNF Application Language Interface" of Fig. 7: applications
+hand XNF text to the session, receive a :class:`CompositeObject` whose
+cache they browse with cursors and path expressions, manipulate its tuples
+and relationships, and share the underlying relational database with plain
+SQL applications (which need no change whatsoever).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import XNFError
+from repro.relational.engine import Database
+from repro.xnf import closure as closure_mod
+from repro.xnf.cache import CachedTuple, COCache, Connection
+from repro.xnf.cursors import DependentCursor, IndependentCursor
+from repro.xnf.lang import xast
+from repro.xnf.lang.parser import parse_xnf_statements
+from repro.xnf.manipulate import Manipulator
+from repro.xnf.paths import evaluate_path
+from repro.xnf.restrict import apply_instance_restrictions
+from repro.xnf.semantic_rewrite import InstantiationStats, XNFCompiler
+from repro.xnf.views import XNFViewCatalog, apply_take, resolve
+
+
+class CompositeObject:
+    """A loaded composite object: cache + cursors + manipulation."""
+
+    def __init__(self, session: "XNFSession", cache: COCache):
+        self.session = session
+        self.cache = cache
+        self.manipulator = Manipulator(
+            session.db, cache, deferred=session.deferred_propagation
+        )
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.cache.schema
+
+    def nodes(self) -> List[str]:
+        return self.cache.node_names()
+
+    def edges(self) -> List[str]:
+        return self.cache.edge_names()
+
+    def node(self, name: str) -> List[CachedTuple]:
+        return self.cache.node(name)
+
+    def connections(self, edge: str) -> List[Connection]:
+        return self.cache.connections_of(edge)
+
+    def find(self, node: str, **criteria: Any) -> Optional[CachedTuple]:
+        return self.cache.find(node, **criteria)
+
+    def find_all(self, node: str, **criteria: Any) -> List[CachedTuple]:
+        return self.cache.find_all(node, **criteria)
+
+    def summary(self) -> str:
+        return self.cache.summary()
+
+    # -- navigation ---------------------------------------------------------------
+
+    def cursor(self, node: str) -> IndependentCursor:
+        """Open an independent cursor on a node."""
+        return self.cache.cursor(node).open()  # type: ignore[return-value]
+
+    def dependent_cursor(self, parent_cursor, path: str) -> DependentCursor:
+        """Open a cursor bound to *parent_cursor* through *path*."""
+        return self.cache.dependent_cursor(parent_cursor, path).open()  # type: ignore[return-value]
+
+    def path(
+        self, start: Union[CachedTuple, str], path_text: str
+    ) -> List[CachedTuple]:
+        """Evaluate a path expression; *start* is a tuple or a node name."""
+        from repro.xnf.cursors import parse_path_steps
+
+        steps = parse_path_steps(path_text)
+        if isinstance(start, CachedTuple):
+            expr = xast.PathExpr(start.node, steps)
+            return evaluate_path(self.cache, expr, {start.node: start})
+        expr = xast.PathExpr(start, steps)
+        return evaluate_path(self.cache, expr)
+
+    # -- manipulation (section 3.7) ---------------------------------------------------
+
+    def update(self, cached: CachedTuple, **changes: Any) -> None:
+        self.manipulator.update(cached, changes)
+
+    def delete(self, cached: CachedTuple) -> None:
+        self.manipulator.delete(cached)
+
+    def insert(self, node: str, **values: Any) -> CachedTuple:
+        return self.manipulator.insert(node, values)
+
+    def connect(
+        self,
+        edge: str,
+        parent: CachedTuple,
+        child: CachedTuple,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Connection:
+        return self.manipulator.connect(edge, parent, child, attributes)
+
+    def disconnect(self, conn: Connection) -> None:
+        self.manipulator.disconnect(conn)
+
+    def flush(self) -> int:
+        """Apply deferred base-table propagation; returns statements run."""
+        return self.manipulator.flush()
+
+    # -- closure (type-3 queries) --------------------------------------------------------
+
+    def to_table(self, node: str, table_name: Optional[str] = None) -> str:
+        """Materialise a node as a base table for plain SQL (XNF → NF)."""
+        return closure_mod.materialize_node(
+            self.session.db, self.cache, node, table_name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CompositeObject({self.schema.name or '<anonymous>'}: "
+            f"{self.cache.total_tuples()} tuples, "
+            f"{self.cache.total_connections()} connections)"
+        )
+
+
+class XNFSession:
+    """An XNF session over a relational database.
+
+    Parameters
+    ----------
+    db:
+        The shared relational database (plain SQL applications keep using
+        it directly — Fig. 7's shared-database architecture).
+    reuse_common:
+        Materialise node candidate sets once and share them across the
+        generated queries (paper section 4.3); disable for the E3 ablation.
+    semi_naive:
+        Evaluate recursive reachability semi-naively; disable for the E6
+        ablation (full re-join per round).
+    deferred_propagation:
+        Queue manipulation propagation until ``CompositeObject.flush()``.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        reuse_common: bool = True,
+        semi_naive: bool = True,
+        deferred_propagation: bool = False,
+    ):
+        self.db = db
+        self.views = XNFViewCatalog()
+        self.reuse_common = reuse_common
+        self.semi_naive = semi_naive
+        self.deferred_propagation = deferred_propagation
+        self.last_stats: Optional[InstantiationStats] = None
+        # name -> (handle, resolved source schema); see materialize_view()
+        self._snapshots: Dict[str, tuple] = {}
+
+    # -- statement execution -------------------------------------------------------
+
+    def execute(
+        self, source: Union[str, xast.XNFStatement]
+    ) -> Union[CompositeObject, int, None]:
+        """Execute one XNF statement.
+
+        Returns a :class:`CompositeObject` for TAKE queries, the affected
+        tuple count for CO-level DELETE/UPDATE, and None for view DDL.
+        """
+        statements = (
+            parse_xnf_statements(source) if isinstance(source, str) else [source]
+        )
+        if len(statements) != 1:
+            raise XNFError("execute() takes exactly one XNF statement")
+        statement = statements[0]
+        if isinstance(statement, xast.CreateXNFView):
+            # Validate eagerly: resolving catches unknown views/components.
+            resolve(statement.query, self.views, statement.name)
+            self.views.create(statement.name, statement.query)
+            return None
+        if isinstance(statement, xast.DropXNFView):
+            self.views.drop(statement.name, statement.if_exists)
+            return None
+        assert isinstance(statement, xast.XNFQuery)
+        if statement.action == "TAKE":
+            return self._run_take(statement)
+        if statement.action == "DELETE":
+            return self._run_co_delete(statement)
+        if statement.action == "UPDATE":
+            return self._run_co_update(statement)
+        raise XNFError(f"unknown XNF action {statement.action!r}")
+
+    def query(self, source: Union[str, xast.XNFQuery]) -> CompositeObject:
+        result = self.execute(source)
+        if not isinstance(result, CompositeObject):
+            raise XNFError("query() expects a TAKE query")
+        return result
+
+    def create_view(self, source: str) -> None:
+        statement = parse_xnf_statements(source)[0]
+        if not isinstance(statement, xast.CreateXNFView):
+            raise XNFError("create_view() expects CREATE VIEW ... AS OUT OF ...")
+        self.execute(statement)
+
+    def classify(self, source: Union[str, xast.XNFStatement]) -> closure_mod.QueryClass:
+        """Fig. 6 query classification."""
+        return closure_mod.classify(source)
+
+    def describe(self, source: str) -> str:
+        """Resolve a query and render its CO schema graph."""
+        statement = parse_xnf_statements(source)[0]
+        query = (
+            statement.query
+            if isinstance(statement, xast.CreateXNFView)
+            else statement
+        )
+        schema = resolve(query, self.views)
+        return schema.describe()
+
+    # -- materialized CO views (the paper's footnote-1 extension) ------------------
+
+    def materialize_view(
+        self, view_name: str, snapshot_name: Optional[str] = None
+    ):
+        """Instantiate an XNF view once and persist its instance.
+
+        Returns a :class:`~repro.xnf.materialize.MaterializedCOView`
+        handle.  :meth:`load_snapshot` then rebuilds the CO from the stored
+        tables with cheap surrogate-key joins — no view derivation, no
+        reachability fixpoint.
+        """
+        from repro.xnf import materialize as mat
+
+        stored = self.views.get(view_name)
+        if stored is None:
+            raise XNFError(f"unknown XNF view {view_name!r}")
+        schema = resolve(stored, self.views, view_name)
+        compiler = XNFCompiler(
+            self.db, reuse_common=self.reuse_common, semi_naive=self.semi_naive
+        )
+        instance = compiler.instantiate(schema)
+        self.last_stats = compiler.stats
+        name = (snapshot_name or f"SNAP_{view_name}").upper().replace("-", "_")
+        if name in self._snapshots:
+            raise XNFError(f"snapshot {name} already exists")
+        handle = mat.store_instance(self.db, name, view_name, instance)
+        self._snapshots[name] = (handle, schema)
+        return handle
+
+    def load_snapshot(self, name: str) -> CompositeObject:
+        """Rebuild a CO from a snapshot's stored tables.
+
+        The stored instance is closed under reachability, so loading is one
+        scan per stored table — no derivation joins, no fixpoint."""
+        from repro.xnf import materialize as mat
+
+        handle, schema = self._get_snapshot(name)
+        instance = mat.load_stored_instance(self.db, handle, schema)
+        self.last_stats = instance.stats
+        return CompositeObject(self, COCache.load(instance))
+
+    def refresh_snapshot(self, name: str):
+        """Re-derive the snapshot from the current base data."""
+        from repro.xnf import materialize as mat
+
+        handle, schema = self._get_snapshot(name)
+        mat.drop_snapshot(self.db, handle)
+        del self._snapshots[handle.name]
+        return self.materialize_view(handle.source_view, handle.name)
+
+    def drop_snapshot(self, name: str) -> None:
+        from repro.xnf import materialize as mat
+
+        handle, _ = self._get_snapshot(name)
+        mat.drop_snapshot(self.db, handle)
+        del self._snapshots[handle.name]
+
+    def snapshots(self) -> List[str]:
+        return sorted(self._snapshots)
+
+    def _get_snapshot(self, name: str):
+        entry = self._snapshots.get(name.upper().replace("-", "_"))
+        if entry is None:
+            raise XNFError(f"unknown snapshot {name!r}")
+        return entry
+
+    # -- internals -------------------------------------------------------------------
+
+    def _instantiate(self, query: xast.XNFQuery) -> COCache:
+        schema = resolve(query, self.views)
+        compiler = XNFCompiler(
+            self.db, reuse_common=self.reuse_common, semi_naive=self.semi_naive
+        )
+        instance = compiler.instantiate(schema)
+        self.last_stats = compiler.stats
+        cache = COCache.load(instance)
+        if schema.instance_restrictions:
+            apply_instance_restrictions(cache, schema.instance_restrictions)
+        pending_take = getattr(schema, "pending_take", None)
+        if pending_take is not None:
+            projected = apply_take(schema, pending_take)
+            projected.validate()
+            cache.project(projected)
+        return cache
+
+    def _run_take(self, query: xast.XNFQuery) -> CompositeObject:
+        cache = self._instantiate(query)
+        return CompositeObject(self, cache)
+
+    def _run_co_delete(self, query: xast.XNFQuery) -> int:
+        """CO deletion (section 3.7): remove the target CO's tuples and
+        connections from their base tables."""
+        co = CompositeObject(self, self._instantiate(query))
+        manipulator = co.manipulator
+        removed = 0
+        # Link rows of M:N relationships go first.
+        for edge_name in co.edges():
+            if manipulator.edge_info(edge_name).kind == "mn":
+                for conn in co.connections(edge_name):
+                    manipulator.disconnect(conn)
+        for node_name in co.nodes():
+            info = manipulator.node_info(node_name)
+            if not info.updatable:
+                raise XNFError(
+                    f"CO DELETE: node {node_name} is not updatable ({info.reason})"
+                )
+            for cached in list(co.node(node_name)):
+                where = manipulator._match_predicate(info, cached)
+                from repro.relational.sql import ast as sql_ast
+
+                manipulator._emit(sql_ast.DeleteStmt(info.base_table, where))
+                co.cache.remove_tuple(cached)
+                removed += 1
+        if self.deferred_propagation:
+            manipulator.flush()
+        return removed
+
+    def _run_co_update(self, query: xast.XNFQuery) -> int:
+        from repro.xnf.paths import eval_instance_expr
+
+        co = CompositeObject(self, self._instantiate(query))
+        node = query.update_node
+        if node not in co.cache.tuples:
+            raise XNFError(f"CO UPDATE: unknown node {node!r}")
+        updated = 0
+        for cached in list(co.node(node)):
+            changes = {}
+            for column, expr in query.update_assignments:
+                bindings = {node: cached}
+                changes[column] = eval_instance_expr(expr, bindings, co.cache)
+            co.manipulator.update(cached, changes)
+            updated += 1
+        if self.deferred_propagation:
+            co.manipulator.flush()
+        return updated

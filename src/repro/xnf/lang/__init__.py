@@ -1,0 +1,6 @@
+"""XNF language front end: AST and parser."""
+
+from repro.xnf.lang import xast
+from repro.xnf.lang.parser import XNFParser, parse_xnf, parse_xnf_statements
+
+__all__ = ["xast", "XNFParser", "parse_xnf", "parse_xnf_statements"]

@@ -1,0 +1,461 @@
+"""Manipulation operations with propagation to base tables (section 3.7).
+
+The paper's update philosophy, implemented rule for rule:
+
+* nodes are regular views: simple single-table derivations are updatable,
+  aggregation/joins/DISTINCT make a node read-only;
+* columns that define relationships are updated only through
+  connect/disconnect;
+* a relationship defined by a foreign key disconnects by **nullifying the
+  foreign key** and connects by setting it;
+* an M:N relationship built from a base table (USING) disconnects by
+  **deleting the corresponding link row** and connects by inserting one;
+* deleting a tuple deletes the base row and disconnects the relationship
+  instances directly attached to it — nothing cascades further;
+* all udi-operations maintain the cache and propagate to the base tables
+  (immediately, or queued until :meth:`Manipulator.flush` when the
+  manipulator is created ``deferred=True`` — the [KDG87]-style batched
+  propagation measured by experiment E7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import UpdatabilityError, XNFError
+from repro.relational.engine import Database
+from repro.relational.sql import ast as sql_ast
+from repro.xnf.cache import CachedTuple, COCache, Connection
+from repro.xnf.schema import COSchema, EdgeSchema, NodeSchema
+
+
+@dataclass
+class NodeUpdatability:
+    updatable: bool
+    base_table: Optional[str] = None
+    column_map: Dict[str, str] = field(default_factory=dict)  # node col -> base col
+    reason: str = ""
+
+
+@dataclass
+class EdgeUpdatability:
+    kind: str  # 'fk', 'mn', or 'readonly'
+    parent_col: Optional[str] = None  # node-level column on the parent side
+    child_col: Optional[str] = None  # node-level column on the child side
+    link_table: Optional[str] = None
+    parent_link_col: Optional[str] = None  # link-table column matched to parent
+    child_link_col: Optional[str] = None
+    attr_cols: Dict[str, str] = field(default_factory=dict)  # attr -> link col
+    reason: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Updatability analysis
+# ---------------------------------------------------------------------------
+
+
+def analyze_node(node: NodeSchema, db: Database) -> NodeUpdatability:
+    """Derive the view-update mapping of a node, per section 3.7."""
+    if node.table is not None:
+        table = db.catalog.get_table(node.table)
+        return NodeUpdatability(
+            True, table.name, {col: col for col in table.column_names()}
+        )
+    query = node.query
+    if not isinstance(query, sql_ast.SelectStmt):
+        return NodeUpdatability(False, reason="set operations are read-only")
+    if query.distinct:
+        return NodeUpdatability(False, reason="DISTINCT loses row identity")
+    if query.group_by or any(
+        sql_ast.contains_aggregate(item.expr) for item in query.select_items
+    ):
+        return NodeUpdatability(False, reason="aggregation is read-only")
+    if len(query.from_tables) != 1 or not isinstance(
+        query.from_tables[0], sql_ast.NamedTable
+    ):
+        return NodeUpdatability(False, reason="joins/derived tables are read-only")
+    base_ref = query.from_tables[0]
+    if not db.catalog.has_table(base_ref.name):
+        return NodeUpdatability(False, reason=f"{base_ref.name} is not a base table")
+    table = db.catalog.get_table(base_ref.name)
+    binding = (base_ref.alias or base_ref.name).upper()
+    column_map: Dict[str, str] = {}
+    for item in query.select_items:
+        if isinstance(item.expr, sql_ast.Star):
+            if item.expr.table is not None and item.expr.table.upper() != binding:
+                return NodeUpdatability(False, reason="star over unknown alias")
+            for col in table.column_names():
+                column_map[col] = col
+        elif isinstance(item.expr, sql_ast.ColumnRef):
+            ref = item.expr
+            if ref.table is not None and ref.table.upper() != binding:
+                return NodeUpdatability(False, reason="column of unknown alias")
+            base_col = table.column(ref.column).name
+            column_map[item.alias or ref.column] = base_col
+        else:
+            return NodeUpdatability(
+                False, reason=f"computed column {item.expr.to_sql()} is read-only"
+            )
+    return NodeUpdatability(True, table.name, column_map)
+
+
+def analyze_edge(edge: EdgeSchema, db: Database) -> EdgeUpdatability:
+    """Classify a relationship as FK-based, M:N link-table, or read-only."""
+    if not edge.is_binary:
+        return EdgeUpdatability(
+            "readonly", reason="n-ary relationships are manipulated "
+            "through their base tables"
+        )
+    conjuncts = sql_ast.conjuncts(edge.predicate)
+    parent_b = edge.parent_binding.upper()
+    child_b = edge.child_binding.upper()
+    if not edge.using:
+        if len(conjuncts) != 1:
+            return EdgeUpdatability(
+                "readonly", reason="FK relationships need a single equality"
+            )
+        pair = _eq_columns(conjuncts[0])
+        if pair is None:
+            return EdgeUpdatability("readonly", reason="non-equality predicate")
+        (t1, c1), (t2, c2) = pair
+        if t1.upper() == parent_b and t2.upper() == child_b:
+            return EdgeUpdatability("fk", parent_col=c1, child_col=c2)
+        if t1.upper() == child_b and t2.upper() == parent_b:
+            return EdgeUpdatability("fk", parent_col=c2, child_col=c1)
+        return EdgeUpdatability("readonly", reason="predicate not parent=child")
+    if len(edge.using) != 1:
+        return EdgeUpdatability("readonly", reason="multiple USING tables")
+    link = edge.using[0]
+    if not db.catalog.has_table(link.table):
+        return EdgeUpdatability("readonly", reason=f"{link.table} not a base table")
+    link_b = link.alias.upper()
+    parent_pair = child_pair = None
+    for conjunct in conjuncts:
+        pair = _eq_columns(conjunct)
+        if pair is None:
+            return EdgeUpdatability("readonly", reason="non-equality predicate")
+        (t1, c1), (t2, c2) = pair
+        sides = {t1.upper(): c1, t2.upper(): c2}
+        if parent_b in sides and link_b in sides:
+            parent_pair = (sides[parent_b], sides[link_b])
+        elif child_b in sides and link_b in sides:
+            child_pair = (sides[child_b], sides[link_b])
+        else:
+            return EdgeUpdatability("readonly", reason="predicate shape unsupported")
+    if parent_pair is None or child_pair is None:
+        return EdgeUpdatability("readonly", reason="incomplete link predicates")
+    attr_cols: Dict[str, str] = {}
+    for name, expr in edge.attributes:
+        if (
+            isinstance(expr, sql_ast.ColumnRef)
+            and expr.table is not None
+            and expr.table.upper() == link_b
+        ):
+            attr_cols[name] = expr.column
+    return EdgeUpdatability(
+        "mn",
+        parent_col=parent_pair[0],
+        child_col=child_pair[0],
+        link_table=link.table.upper(),
+        parent_link_col=parent_pair[1],
+        child_link_col=child_pair[1],
+        attr_cols=attr_cols,
+    )
+
+
+def _eq_columns(expr: sql_ast.Expr):
+    if not (isinstance(expr, sql_ast.BinaryOp) and expr.op == "="):
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, sql_ast.ColumnRef) and isinstance(right, sql_ast.ColumnRef):
+        if left.table is None or right.table is None:
+            return None
+        return (left.table, left.column), (right.table, right.column)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The manipulator
+# ---------------------------------------------------------------------------
+
+
+class Manipulator:
+    """udi-operations and connect/disconnect on a loaded CO."""
+
+    def __init__(self, db: Database, cache: COCache, deferred: bool = False):
+        self.db = db
+        self.cache = cache
+        self.deferred = deferred
+        self._pending: List[sql_ast.Statement] = []
+        self._node_info: Dict[str, NodeUpdatability] = {}
+        self._edge_info: Dict[str, EdgeUpdatability] = {}
+        self.operations = 0
+
+    # -- metadata ------------------------------------------------------------------
+
+    def node_info(self, node_name: str) -> NodeUpdatability:
+        info = self._node_info.get(node_name)
+        if info is None:
+            node = self.cache.schema.nodes.get(node_name)
+            if node is None:
+                raise XNFError(f"unknown node {node_name!r}")
+            info = analyze_node(node, self.db)
+            self._node_info[node_name] = info
+        return info
+
+    def edge_info(self, edge_name: str) -> EdgeUpdatability:
+        info = self._edge_info.get(edge_name)
+        if info is None:
+            edge = self.cache.schema.edges.get(edge_name)
+            if edge is None:
+                raise XNFError(f"unknown relationship {edge_name!r}")
+            info = analyze_edge(edge, self.db)
+            self._edge_info[edge_name] = info
+        return info
+
+    def relationship_columns(self, node_name: str) -> set:
+        """Node columns that define relationships (update via connect only)."""
+        columns = set()
+        for edge in self.cache.schema.edges.values():
+            info = self.edge_info(edge.name)
+            if info.kind == "fk":
+                if edge.child == node_name and info.child_col:
+                    columns.add(info.child_col.upper())
+                if edge.parent == node_name and info.parent_col:
+                    columns.add(info.parent_col.upper())
+        return columns
+
+    # -- udi operations ---------------------------------------------------------------
+
+    def update(self, cached: CachedTuple, changes: Dict[str, Any]) -> None:
+        """Update a tuple's columns; propagates to the base table."""
+        info = self._require_updatable(cached.node)
+        blocked = self.relationship_columns(cached.node)
+        for column in changes:
+            if column.upper() in blocked:
+                raise UpdatabilityError(
+                    f"column {column} of {cached.node} defines a relationship; "
+                    "use connect/disconnect instead"
+                )
+            if column not in info.column_map:
+                raise UpdatabilityError(
+                    f"column {column} of {cached.node} does not map to a "
+                    "base-table column"
+                )
+        old_values = cached.full_values()
+        where = self._match_predicate(info, cached)
+        assignments = [
+            (info.column_map[col], sql_ast.Literal(val))
+            for col, val in changes.items()
+        ]
+        self._emit(sql_ast.UpdateStmt(info.base_table, assignments, where))
+        for col, val in changes.items():
+            cached._values[self.cache.raw_position(cached.node, col)] = val
+        self.cache.reindex(cached, old_values)
+        self.operations += 1
+
+    def delete(self, cached: CachedTuple) -> None:
+        """Delete a tuple: disconnect attached relationship instances, then
+        remove the base row (the paper's two-part delete semantics)."""
+        info = self._require_updatable(cached.node)
+        for edge_name in list(cached.children) + list(cached.parents):
+            for conn in list(cached.connections(edge_name)):
+                # FK disconnect would nullify the very row being deleted —
+                # skip the base write when the FK lives on the deleted side.
+                edge_info = self.edge_info(edge_name)
+                edge = self.cache.schema.edges[edge_name]
+                if edge_info.kind == "fk" and conn.child is cached:
+                    conn.alive = False
+                    continue
+                self.disconnect(conn)
+        where = self._match_predicate(info, cached)
+        self._emit(sql_ast.DeleteStmt(info.base_table, where))
+        self.cache.remove_tuple(cached)
+        self.operations += 1
+
+    def insert(self, node_name: str, values: Dict[str, Any]) -> CachedTuple:
+        """Insert a new tuple into a node (and its base table)."""
+        info = self._require_updatable(node_name)
+        columns = self.cache.columns[node_name]
+        row = tuple(values.get(col) for col in columns)
+        base_cols = []
+        base_exprs = []
+        for col, val in zip(columns, row):
+            base_col = info.column_map.get(col)
+            if base_col is None:
+                if val is not None:
+                    raise UpdatabilityError(
+                        f"column {col} of {node_name} is not insertable"
+                    )
+                continue
+            base_cols.append(base_col)
+            base_exprs.append(sql_ast.Literal(val))
+        self._emit(sql_ast.InsertStmt(info.base_table, base_cols, rows=[base_exprs]))
+        cached = self.cache._add_tuple(node_name, row)
+        self.operations += 1
+        return cached
+
+    # -- connect / disconnect --------------------------------------------------------------
+
+    def connect(
+        self,
+        edge_name: str,
+        parent: CachedTuple,
+        child: CachedTuple,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> Connection:
+        edge = self.cache.schema.edges.get(edge_name)
+        if edge is None:
+            raise XNFError(f"unknown relationship {edge_name!r}")
+        if parent.node != edge.parent or child.node != edge.child:
+            raise UpdatabilityError(
+                f"connect on {edge_name} expects ({edge.parent}, {edge.child}) "
+                f"tuples, got ({parent.node}, {child.node})"
+            )
+        info = self.edge_info(edge_name)
+        attributes = attributes or {}
+        if info.kind == "fk":
+            child_info = self._require_updatable(child.node)
+            fk_base_col = child_info.column_map.get(info.child_col)
+            if fk_base_col is None:
+                raise UpdatabilityError(
+                    f"FK column {info.child_col} is not updatable on {child.node}"
+                )
+            value = parent.raw(info.parent_col)
+            old_values = child.full_values()
+            where = self._match_predicate(child_info, child)
+            self._emit(
+                sql_ast.UpdateStmt(
+                    child_info.base_table,
+                    [(fk_base_col, sql_ast.Literal(value))],
+                    where,
+                )
+            )
+            child._values[self.cache.raw_position(child.node, info.child_col)] = value
+            self.cache.reindex(child, old_values)
+        elif info.kind == "mn":
+            link = self.db.catalog.get_table(info.link_table)
+            columns = [info.parent_link_col, info.child_link_col]
+            exprs = [
+                sql_ast.Literal(parent.raw(info.parent_col)),
+                sql_ast.Literal(child.raw(info.child_col)),
+            ]
+            for attr, value in attributes.items():
+                link_col = info.attr_cols.get(attr)
+                if link_col is None:
+                    raise UpdatabilityError(
+                        f"attribute {attr} of {edge_name} does not map to a "
+                        "link-table column"
+                    )
+                columns.append(link_col)
+                exprs.append(sql_ast.Literal(value))
+            self._emit(sql_ast.InsertStmt(link.name, columns, rows=[exprs]))
+        else:
+            raise UpdatabilityError(
+                f"relationship {edge_name} is not updatable: {info.reason}"
+            )
+        conn = self.cache.add_connection(edge_name, parent, child, attributes)
+        self.operations += 1
+        return conn
+
+    def disconnect(self, conn: Connection) -> None:
+        info = self.edge_info(conn.edge)
+        if info.kind == "fk":
+            child_info = self._require_updatable(conn.child.node)
+            fk_base_col = child_info.column_map.get(info.child_col)
+            old_values = conn.child.full_values()
+            where = self._match_predicate(child_info, conn.child)
+            self._emit(
+                sql_ast.UpdateStmt(
+                    child_info.base_table,
+                    [(fk_base_col, sql_ast.Literal(None))],
+                    where,
+                )
+            )
+            position = self.cache.raw_position(conn.child.node, info.child_col)
+            conn.child._values[position] = None
+            self.cache.reindex(conn.child, old_values)
+        elif info.kind == "mn":
+            predicates: List[sql_ast.Expr] = [
+                _eq_or_null(info.parent_link_col, conn.parent.raw(info.parent_col)),
+                _eq_or_null(info.child_link_col, conn.child.raw(info.child_col)),
+            ]
+            for attr, value in conn.attributes.items():
+                link_col = info.attr_cols.get(attr)
+                if link_col is not None:
+                    predicates.append(_eq_or_null(link_col, value))
+            self._emit(
+                sql_ast.DeleteStmt(info.link_table, sql_ast.conjoin(predicates))
+            )
+        else:
+            raise UpdatabilityError(
+                f"relationship {conn.edge} is not updatable: {info.reason}"
+            )
+        conn.alive = False
+        self.operations += 1
+
+    # -- deferred propagation -----------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Apply queued base-table changes (deferred mode); returns count."""
+        applied = len(self._pending)
+        if not self._pending:
+            return 0
+        self.db.begin()
+        try:
+            for stmt in self._pending:
+                self.db.execute_ast(stmt)
+        except Exception:
+            self.db.rollback()
+            raise
+        self.db.commit()
+        self._pending.clear()
+        return applied
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # -- helpers ---------------------------------------------------------------------------------
+
+    def _require_updatable(self, node_name: str) -> NodeUpdatability:
+        info = self.node_info(node_name)
+        if not info.updatable:
+            raise UpdatabilityError(
+                f"node {node_name} is not updatable: {info.reason}"
+            )
+        return info
+
+    def _match_predicate(
+        self, info: NodeUpdatability, cached: CachedTuple
+    ) -> sql_ast.Expr:
+        """WHERE clause matching the base row of *cached*: PK if available,
+        else every mapped column (NULL-safe)."""
+        table = self.db.catalog.get_table(info.base_table)
+        pk_cols = [col.name for col in table.columns if col.primary_key]
+        reverse = {base: node for node, base in info.column_map.items()}
+        use_cols = (
+            pk_cols
+            if pk_cols and all(base in reverse for base in pk_cols)
+            else list(info.column_map.values())
+        )
+        predicates = [
+            _eq_or_null(base_col, cached.raw(reverse[base_col])) for base_col in use_cols
+        ]
+        predicate = sql_ast.conjoin(predicates)
+        assert predicate is not None
+        return predicate
+
+    def _emit(self, stmt: sql_ast.Statement) -> None:
+        if self.deferred:
+            self._pending.append(stmt)
+        else:
+            self.db.execute_ast(stmt)
+
+
+def _eq_or_null(column: str, value: Any) -> sql_ast.Expr:
+    ref = sql_ast.ColumnRef(None, column)
+    if value is None:
+        return sql_ast.IsNull(ref)
+    return sql_ast.BinaryOp("=", ref, sql_ast.Literal(value))

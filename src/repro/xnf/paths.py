@@ -1,0 +1,303 @@
+"""Path expressions over the CO cache (section 3.5).
+
+A path expression denotes a subset of the tuples of its target node: all
+tuples reachable from the start tuple(s) through the named relationships,
+with qualified steps filtering along the way.  "We view a path expression
+to be a table" — :func:`evaluate_path` returns the tuple list, and the
+instance-expression evaluator below supports ``COUNT(<path>)`` and
+``EXISTS <path>`` plus ordinary SQL operators with full 3-valued logic,
+which is what SUCH THAT predicates over paths need (the paper's queries in
+section 3.5).
+
+Relationships may be traversed in either direction (section 2): the
+direction of each step is inferred from the side of the relationship the
+current tuples are on, with role names (``manages[reports_to]``)
+disambiguating cyclic relationships.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PathError, XNFError
+from repro.relational.sql import ast as sql_ast
+from repro.relational.types import (
+    sql_arith,
+    sql_compare,
+    sql_like,
+    tv_and,
+    tv_not,
+    tv_or,
+)
+from repro.xnf.cache import CachedTuple, COCache
+from repro.xnf.lang import xast
+
+#: Bindings of tuple variables visible to a predicate: alias -> CachedTuple.
+Bindings = Dict[str, CachedTuple]
+
+
+def evaluate_path(
+    cache: COCache,
+    path: xast.PathExpr,
+    bindings: Optional[Bindings] = None,
+) -> List[CachedTuple]:
+    """Evaluate *path* against *cache*.
+
+    The start resolves first against *bindings* (a tuple variable bound by
+    an enclosing SUCH THAT), then as a node name (the path then ranges over
+    every live tuple of that node).
+    """
+    bindings = bindings or {}
+    start = _resolve_start(cache, path.start, bindings)
+    current = start
+    for step in path.steps:
+        current = _apply_step(cache, current, step, bindings)
+        if not current:
+            return []
+    return current
+
+
+def _resolve_start(
+    cache: COCache, start: str, bindings: Bindings
+) -> List[CachedTuple]:
+    for alias, cached in bindings.items():
+        if alias.upper() == start.upper():
+            return [cached] if cached.alive else []
+    for node in cache.node_names():
+        if node.upper() == start.upper():
+            return cache.node(node)
+    raise PathError(
+        f"path start {start!r} is neither a bound tuple variable nor a node"
+    )
+
+
+def _apply_step(
+    cache: COCache,
+    current: List[CachedTuple],
+    step: xast.PathStep,
+    bindings: Bindings,
+) -> List[CachedTuple]:
+    name_upper = step.name.upper()
+    node_name = next(
+        (n for n in cache.node_names() if n.upper() == name_upper), None
+    )
+    edge = next(
+        (e for e in cache.schema.edges.values() if e.name.upper() == name_upper),
+        None,
+    )
+    if edge is not None:
+        targets = _traverse_edge(current, edge, step.role, cache)
+    elif node_name is not None:
+        # A node step validates/filters the current position.
+        targets = [t for t in current if t.node == node_name]
+    else:
+        raise PathError(f"unknown path step {step.name!r}")
+    targets = _dedupe(targets)
+    if step.predicate is not None:
+        alias = step.alias or (node_name or step.name)
+        filtered = []
+        for cached in targets:
+            local = dict(bindings)
+            local[alias] = cached
+            local[cached.node] = cached
+            if eval_instance_expr(step.predicate, local, cache) is True:
+                filtered.append(cached)
+        targets = filtered
+    return targets
+
+
+def _traverse_edge(
+    current: List[CachedTuple],
+    edge,
+    role: Optional[str],
+    cache: COCache,
+) -> List[CachedTuple]:
+    results: List[CachedTuple] = []
+    for cached in current:
+        direction, slot = _direction(cached, edge, role)
+        results.extend(cached.related(edge.name, direction, slot))
+    return results
+
+
+def _direction(
+    cached: CachedTuple, edge, role: Optional[str]
+) -> Tuple[str, Optional[int]]:
+    """Traversal direction and, for child-bound steps, the partner slot.
+
+    A role naming one child partner of an n-ary relationship selects
+    exactly that slot; without a role, all child partners are yielded.
+    """
+    if role is not None:
+        child_roles = [edge.child_role] + [
+            r for _, r in getattr(edge, "extra_partners", [])
+        ]
+        for slot, child_role in enumerate(child_roles):
+            if child_role and role.upper() == child_role.upper():
+                return "children", slot
+        if edge.parent_role and role.upper() == edge.parent_role.upper():
+            return "parents", None
+        raise PathError(
+            f"role {role!r} does not name a partner of relationship "
+            f"{edge.name!r}"
+        )
+    is_parent = edge.parent == cached.node
+    is_child = cached.node in edge.child_names()
+    if is_parent and is_child:
+        raise PathError(
+            f"cyclic relationship {edge.name!r}: use a role name to pick "
+            "the traversal direction"
+        )
+    if is_parent:
+        return "children", None
+    if is_child:
+        return "parents", None
+    raise PathError(
+        f"cannot traverse {edge.name!r} from a {cached.node} tuple"
+    )
+
+
+def _dedupe(tuples: List[CachedTuple]) -> List[CachedTuple]:
+    seen: set = set()
+    result: List[CachedTuple] = []
+    for cached in tuples:
+        if id(cached) not in seen:
+            seen.add(id(cached))
+            result.append(cached)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Instance-level expression evaluation (SUCH THAT with path expressions)
+# ---------------------------------------------------------------------------
+
+
+def eval_instance_expr(
+    expr: sql_ast.Expr, bindings: Bindings, cache: COCache
+) -> Any:
+    """Evaluate a restriction predicate against cache tuples.
+
+    Supports the SQL expression vocabulary with 3VL, plus ``COUNT(<path>)``
+    and ``EXISTS <path>``.  Column references resolve through *bindings*
+    (qualified by alias, or unqualified when unambiguous).
+    """
+    if isinstance(expr, sql_ast.Literal):
+        return expr.value
+    if isinstance(expr, sql_ast.ColumnRef):
+        return _resolve_column(expr, bindings)
+    if isinstance(expr, xast.PathExpr):
+        raise PathError(
+            f"path expression {expr.to_sql()} must appear inside COUNT() or "
+            "EXISTS"
+        )
+    if isinstance(expr, sql_ast.BinaryOp):
+        if expr.op == "AND":
+            return tv_and(
+                eval_instance_expr(expr.left, bindings, cache),
+                eval_instance_expr(expr.right, bindings, cache),
+            )
+        if expr.op == "OR":
+            return tv_or(
+                eval_instance_expr(expr.left, bindings, cache),
+                eval_instance_expr(expr.right, bindings, cache),
+            )
+        left = eval_instance_expr(expr.left, bindings, cache)
+        right = eval_instance_expr(expr.right, bindings, cache)
+        if expr.op in ("=", "<>", "<", "<=", ">", ">="):
+            return sql_compare(expr.op, left, right)
+        if expr.op == "LIKE":
+            return sql_like(left, right)
+        return sql_arith(expr.op, left, right)
+    if isinstance(expr, sql_ast.UnaryOp):
+        value = eval_instance_expr(expr.operand, bindings, cache)
+        if expr.op == "NOT":
+            return tv_not(value)
+        return None if value is None else -value
+    if isinstance(expr, sql_ast.IsNull):
+        value = eval_instance_expr(expr.operand, bindings, cache)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, sql_ast.Between):
+        value = eval_instance_expr(expr.operand, bindings, cache)
+        low = eval_instance_expr(expr.low, bindings, cache)
+        high = eval_instance_expr(expr.high, bindings, cache)
+        result = tv_and(
+            sql_compare(">=", value, low), sql_compare("<=", value, high)
+        )
+        return tv_not(result) if expr.negated else result
+    if isinstance(expr, sql_ast.InList):
+        value = eval_instance_expr(expr.operand, bindings, cache)
+        result: Optional[bool] = False
+        for item in expr.items:
+            candidate = eval_instance_expr(item, bindings, cache)
+            result = tv_or(result, sql_compare("=", value, candidate))
+            if result is True:
+                break
+        return tv_not(result) if expr.negated else result
+    if isinstance(expr, sql_ast.FuncCall):
+        return _eval_func(expr, bindings, cache)
+    if isinstance(expr, sql_ast.Case):
+        for cond, result_expr in expr.whens:
+            if eval_instance_expr(cond, bindings, cache) is True:
+                return eval_instance_expr(result_expr, bindings, cache)
+        if expr.else_result is not None:
+            return eval_instance_expr(expr.else_result, bindings, cache)
+        return None
+    raise XNFError(f"unsupported expression in SUCH THAT: {expr.to_sql()}")
+
+
+def _eval_func(expr: sql_ast.FuncCall, bindings: Bindings, cache: COCache) -> Any:
+    if expr.args and isinstance(expr.args[0], xast.PathExpr):
+        path = expr.args[0]
+        targets = evaluate_path(cache, path, bindings)
+        if expr.name == "COUNT":
+            return len(targets)
+        if expr.name == "EXISTS":
+            return bool(targets)
+        raise XNFError(
+            f"{expr.name} over a path expression is not supported "
+            "(use COUNT or EXISTS)"
+        )
+    args = [eval_instance_expr(arg, bindings, cache) for arg in expr.args]
+    name = expr.name
+    if name == "ABS":
+        return None if args[0] is None else abs(args[0])
+    if name == "LOWER":
+        return None if args[0] is None else str(args[0]).lower()
+    if name == "UPPER":
+        return None if args[0] is None else str(args[0]).upper()
+    if name == "LENGTH":
+        return None if args[0] is None else len(str(args[0]))
+    if name == "COALESCE":
+        for value in args:
+            if value is not None:
+                return value
+        return None
+    raise XNFError(f"unsupported function {name} in SUCH THAT")
+
+
+def _resolve_column(ref: sql_ast.ColumnRef, bindings: Bindings) -> Any:
+    if ref.table is not None:
+        for alias, cached in bindings.items():
+            if alias.upper() == ref.table.upper():
+                return cached[ref.column]
+        raise XNFError(f"unbound tuple variable {ref.table!r}")
+    matches = []
+    for cached in _unique_tuples(bindings):
+        try:
+            matches.append(cached[ref.column])
+        except XNFError:
+            continue
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise XNFError(f"cannot resolve column {ref.column!r} in SUCH THAT")
+    raise XNFError(f"ambiguous column {ref.column!r} in SUCH THAT")
+
+
+def _unique_tuples(bindings: Bindings) -> List[CachedTuple]:
+    seen: set = set()
+    result: List[CachedTuple] = []
+    for cached in bindings.values():
+        if id(cached) not in seen:
+            seen.add(id(cached))
+            result.append(cached)
+    return result

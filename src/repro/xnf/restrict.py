@@ -1,0 +1,116 @@
+"""Instance-level restriction evaluation.
+
+SUCH THAT predicates that contain path expressions (section 3.5's queries)
+cannot be folded into the generated SQL — they quantify over the CO's own
+instance.  They are therefore evaluated against the loaded cache: failing
+tuples/connections are removed, then the reachability constraint is
+re-enforced, exactly the semantics the paper walks through for Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import XNFError
+from repro.xnf.cache import COCache
+from repro.xnf.lang import xast
+from repro.xnf.paths import eval_instance_expr
+
+
+def apply_instance_restrictions(
+    cache: COCache, restrictions: List[xast.Restriction]
+) -> int:
+    """Apply path-bearing restrictions to *cache* in place.
+
+    All predicates are evaluated against the *unrestricted* instance first
+    (simultaneous semantics — a department dropped by one restriction still
+    counts inside another restriction's COUNT), then the survivors are
+    committed and reachability is recomputed.  Returns tuples dropped.
+    """
+    doomed_tuples = []
+    doomed_connections = []
+    for restriction in restrictions:
+        if isinstance(restriction, xast.NodeRestriction):
+            alias = restriction.alias or restriction.node
+            for cached in cache.node(restriction.node):
+                bindings = {alias: cached, restriction.node: cached}
+                if (
+                    eval_instance_expr(restriction.predicate, bindings, cache)
+                    is not True
+                ):
+                    doomed_tuples.append(cached)
+        elif isinstance(restriction, xast.EdgeRestriction):
+            edge = cache.schema.edges.get(restriction.edge)
+            if edge is not None and not edge.is_binary:
+                raise XNFError(
+                    f"edge restriction on n-ary relationship "
+                    f"{restriction.edge!r} is not supported"
+                )
+            for conn in cache.connections_of(restriction.edge):
+                bindings = {
+                    restriction.parent_alias: conn.parent,
+                    restriction.child_alias: conn.child,
+                }
+                predicate = _substitute_attrs(restriction, conn)
+                if eval_instance_expr(predicate, bindings, cache) is not True:
+                    doomed_connections.append(conn)
+        else:  # pragma: no cover
+            raise XNFError(f"unknown restriction {restriction!r}")
+    for conn in doomed_connections:
+        conn.alive = False
+    dropped = 0
+    for cached in doomed_tuples:
+        if cached.alive:
+            cache.remove_tuple(cached)
+            dropped += 1
+    dropped += cache.recompute_reachability()
+    return dropped
+
+
+def _substitute_attrs(restriction: xast.EdgeRestriction, conn):
+    """Replace references to connection attributes by their values."""
+    from repro.relational.sql import ast as sql_ast
+
+    if not conn.attributes:
+        return restriction.predicate
+
+    def rewrite(expr):
+        if isinstance(expr, sql_ast.ColumnRef):
+            if expr.table is None and expr.column in conn.attributes:
+                return sql_ast.Literal(conn.attributes[expr.column])
+            if (
+                expr.table is not None
+                and expr.table.upper() == restriction.edge.upper()
+                and expr.column in conn.attributes
+            ):
+                return sql_ast.Literal(conn.attributes[expr.column])
+            return expr
+        if isinstance(expr, sql_ast.BinaryOp):
+            return sql_ast.BinaryOp(expr.op, rewrite(expr.left), rewrite(expr.right))
+        if isinstance(expr, sql_ast.UnaryOp):
+            return sql_ast.UnaryOp(expr.op, rewrite(expr.operand))
+        if isinstance(expr, sql_ast.IsNull):
+            return sql_ast.IsNull(rewrite(expr.operand), expr.negated)
+        if isinstance(expr, sql_ast.Between):
+            return sql_ast.Between(
+                rewrite(expr.operand),
+                rewrite(expr.low),
+                rewrite(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, sql_ast.InList):
+            return sql_ast.InList(
+                rewrite(expr.operand),
+                [rewrite(i) for i in expr.items],
+                expr.negated,
+            )
+        if isinstance(expr, sql_ast.FuncCall):
+            return sql_ast.FuncCall(
+                expr.name,
+                [rewrite(a) for a in expr.args],
+                distinct=expr.distinct,
+                star=expr.star,
+            )
+        return expr
+
+    return rewrite(restriction.predicate)

@@ -1,0 +1,109 @@
+"""The heterogeneous answer stream.
+
+Section 4.3: "Regular output processing of SQL is modified to allow
+generation of a heterogeneous set of tuples in the answer set (generation
+of tuples belonging to different nodes and relationships)" — and parent
+tuples are sent to the output as soon as they are computed.
+
+:func:`heterogeneous_stream` linearises a :class:`COInstance` into exactly
+that: tagged items, node tuples in parent-before-child (BFS from the roots)
+order, each node's connections following its tuples, so a single pass is
+enough to build the cache's pointer structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Tuple, Union
+
+from repro.xnf.semantic_rewrite import COInstance
+
+#: stream item kinds
+TUPLE = "tuple"
+CONNECTION = "connection"
+SCHEMA = "schema"
+
+
+@dataclass(frozen=True)
+class SchemaItem:
+    """Header item: component layout, sent before any data."""
+
+    kind: str
+    component: str
+    columns: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TupleItem:
+    component: str
+    row: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class ConnectionItem:
+    component: str
+    parent_row: Tuple[Any, ...]
+    #: one row per child partner (a 1-tuple for binary relationships)
+    child_rows: Tuple[Tuple[Any, ...], ...]
+    attributes: Tuple[Any, ...]
+
+    @property
+    def child_row(self) -> Tuple[Any, ...]:
+        """Convenience accessor for binary relationships."""
+        return self.child_rows[0]
+
+
+StreamItem = Union[SchemaItem, TupleItem, ConnectionItem]
+
+
+def heterogeneous_stream(instance: COInstance) -> Iterator[StreamItem]:
+    """Linearise *instance* into a tagged stream.
+
+    Order: schema headers, then nodes in BFS order from the roots (parents
+    before children, so the cache can wire pointers as connections arrive),
+    each followed by the connections of the edges arriving *into* the nodes
+    already emitted.
+    """
+    schema = instance.schema
+    for name in schema.nodes:
+        yield SchemaItem("node", name, tuple(instance.columns[name]))
+    for edge in schema.edges.values():
+        yield SchemaItem(
+            "edge", edge.name, tuple(name for name, _ in edge.attributes)
+        )
+
+    emitted: List[str] = []
+    remaining = set(schema.nodes)
+    frontier = [name for name in schema.roots() if name in remaining]
+    emitted_edges = set()
+    while frontier or remaining:
+        if not frontier:  # disconnected or cyclic leftovers
+            frontier = [next(iter(remaining))]
+        next_frontier: List[str] = []
+        for name in frontier:
+            if name not in remaining:
+                continue
+            remaining.discard(name)
+            emitted.append(name)
+            for row in instance.rows[name]:
+                yield TupleItem(name, row)
+            for edge in schema.edges.values():
+                if edge.name in emitted_edges:
+                    continue
+                partners_pending = edge.parent in remaining or any(
+                    child in remaining for child in edge.child_names()
+                )
+                if not partners_pending:
+                    emitted_edges.add(edge.name)
+                    for parent_row, child_rows, attrs in instance.connections[
+                        edge.name
+                    ]:
+                        yield ConnectionItem(
+                            edge.name, parent_row, child_rows, attrs
+                        )
+            for edge in schema.edges.values():
+                if edge.parent == name:
+                    for child in edge.child_names():
+                        if child in remaining:
+                            next_frontier.append(child)
+        frontier = next_frontier

@@ -1,0 +1,245 @@
+"""DML, DDL, constraints, ANALYZE and plan selection through the engine."""
+
+import pytest
+
+from repro.errors import (
+    CatalogError,
+    ExecutionError,
+    IntegrityError,
+)
+from repro.relational.engine import Database
+
+
+class TestInsert:
+    def test_basic(self, db):
+        db.execute("CREATE TABLE T (a INTEGER, b VARCHAR)")
+        result = db.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y')")
+        assert result.rowcount == 2
+        assert len(db.execute("SELECT * FROM T").rows) == 2
+
+    def test_column_list_defaults_null(self, db):
+        db.execute("CREATE TABLE T (a INTEGER, b VARCHAR, c FLOAT)")
+        db.execute("INSERT INTO T (c, a) VALUES (1.5, 7)")
+        assert db.execute("SELECT * FROM T").rows == [(7, None, 1.5)]
+
+    def test_insert_select(self, people_db):
+        people_db.execute("CREATE TABLE NAMES (n VARCHAR)")
+        result = people_db.execute(
+            "INSERT INTO NAMES SELECT name FROM PEOPLE WHERE age > 26"
+        )
+        assert result.rowcount == 2
+
+    def test_insert_expression(self, db):
+        db.execute("CREATE TABLE T (a INTEGER)")
+        db.execute("INSERT INTO T VALUES (2 + 3 * 4)")
+        assert db.execute("SELECT a FROM T").scalar() == 14
+
+    def test_wrong_arity_raises(self, db):
+        db.execute("CREATE TABLE T (a INTEGER, b INTEGER)")
+        with pytest.raises((ExecutionError, IntegrityError)):
+            db.execute("INSERT INTO T VALUES (1)")
+
+    def test_type_mismatch_raises(self, db):
+        db.execute("CREATE TABLE T (a INTEGER)")
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO T VALUES ('not a number')")
+
+
+class TestConstraints:
+    def test_primary_key_uniqueness(self, db):
+        db.execute("CREATE TABLE T (a INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO T VALUES (1)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO T VALUES (1)")
+        # failed insert must not leave a ghost row
+        assert db.execute("SELECT COUNT(*) FROM T").scalar() == 1
+
+    def test_primary_key_not_null(self, db):
+        db.execute("CREATE TABLE T (a INTEGER PRIMARY KEY)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO T VALUES (NULL)")
+
+    def test_not_null(self, db):
+        db.execute("CREATE TABLE T (a INTEGER NOT NULL)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO T VALUES (NULL)")
+
+    def test_foreign_key_checked(self, db):
+        db.execute("CREATE TABLE P (id INTEGER PRIMARY KEY)")
+        db.execute("CREATE TABLE C (ref INTEGER REFERENCES P(id))")
+        db.execute("INSERT INTO P VALUES (1)")
+        db.execute("INSERT INTO C VALUES (1)")
+        db.execute("INSERT INTO C VALUES (NULL)")  # NULL FK allowed
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO C VALUES (99)")
+
+    def test_foreign_key_on_update(self, db):
+        db.execute("CREATE TABLE P (id INTEGER PRIMARY KEY)")
+        db.execute("CREATE TABLE C (ref INTEGER REFERENCES P(id))")
+        db.execute("INSERT INTO P VALUES (1)")
+        db.execute("INSERT INTO C VALUES (1)")
+        with pytest.raises(IntegrityError):
+            db.execute("UPDATE C SET ref = 99")
+
+    def test_unique_index_enforced(self, db):
+        db.execute("CREATE TABLE T (a INTEGER)")
+        db.execute("CREATE UNIQUE INDEX u ON T (a)")
+        db.execute("INSERT INTO T VALUES (1)")
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO T VALUES (1)")
+
+
+class TestUpdateDelete:
+    def test_update_with_where(self, people_db):
+        result = people_db.execute("UPDATE PEOPLE SET age = age + 1 WHERE city = 'NY'")
+        assert result.rowcount == 2
+        assert people_db.execute(
+            "SELECT age FROM PEOPLE WHERE name = 'ann'"
+        ).scalar() == 31
+
+    def test_update_all(self, people_db):
+        assert people_db.execute("UPDATE PEOPLE SET score = 0.0").rowcount == 5
+
+    def test_update_with_subquery_predicate(self, people_db):
+        people_db.execute(
+            "UPDATE PEOPLE SET score = 9.9 WHERE age = (SELECT MAX(age) FROM PEOPLE)"
+        )
+        assert people_db.execute(
+            "SELECT score FROM PEOPLE WHERE name = 'cat'"
+        ).scalar() == 9.9
+
+    def test_update_maintains_indexes(self, people_db):
+        people_db.execute("CREATE INDEX ia ON PEOPLE (age)")
+        people_db.execute("UPDATE PEOPLE SET age = 99 WHERE id = 1")
+        result = people_db.execute("SELECT name FROM PEOPLE WHERE age = 99")
+        assert result.rows == [("ann",)]
+        assert people_db.execute("SELECT name FROM PEOPLE WHERE age = 30").rows == []
+
+    def test_delete_with_where(self, people_db):
+        assert people_db.execute("DELETE FROM PEOPLE WHERE age = 25").rowcount == 2
+        assert people_db.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 3
+
+    def test_delete_all(self, people_db):
+        people_db.execute("DELETE FROM PEOPLE")
+        assert people_db.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 0
+
+    def test_delete_maintains_indexes(self, people_db):
+        people_db.execute("DELETE FROM PEOPLE WHERE id = 1")
+        assert people_db.execute("SELECT * FROM PEOPLE WHERE id = 1").rows == []
+
+
+class TestDDL:
+    def test_create_drop_table(self, db):
+        db.execute("CREATE TABLE T (a INTEGER)")
+        db.execute("DROP TABLE T")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM T")
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE TABLE T (a INTEGER)")
+        db.execute("CREATE TABLE IF NOT EXISTS T (a INTEGER)")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE T (a INTEGER)")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS NOPE")
+        with pytest.raises(CatalogError):
+            db.execute("DROP TABLE NOPE")
+
+    def test_duplicate_column_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE T (a INTEGER, a VARCHAR)")
+
+    def test_index_backfill(self, people_db):
+        people_db.execute("CREATE INDEX ia ON PEOPLE (age)")
+        table = people_db.catalog.get_table("PEOPLE")
+        assert len(table.indexes["ia"]) == 4  # NULL age not indexed
+
+    def test_drop_index(self, people_db):
+        people_db.execute("CREATE INDEX ia ON PEOPLE (age)")
+        people_db.execute("DROP INDEX ia ON PEOPLE")
+        assert "ia" not in people_db.catalog.get_table("PEOPLE").indexes
+
+    def test_analyze_fills_stats(self, people_db):
+        people_db.execute("ANALYZE PEOPLE")
+        stats = people_db.catalog.get_table("PEOPLE").stats
+        assert stats.analyzed
+        assert stats.row_count == 5
+        assert stats.columns["age"].n_distinct == 3
+        assert stats.columns["age"].null_count == 1
+        assert stats.columns["age"].min_value == 25
+        assert stats.columns["age"].max_value == 35
+
+
+class TestPlanSelection:
+    @pytest.fixture
+    def indexed_db(self, db):
+        db.execute("CREATE TABLE T (id INTEGER PRIMARY KEY, v INTEGER, s VARCHAR)")
+        rows = ", ".join(f"({i}, {i % 10}, 's{i}')" for i in range(300))
+        db.execute(f"INSERT INTO T VALUES {rows}")
+        db.execute("CREATE INDEX iv ON T (v) USING HASH")
+        db.execute("ANALYZE")
+        return db
+
+    def test_pk_equality_uses_index(self, indexed_db):
+        plan = indexed_db.explain("SELECT * FROM T WHERE id = 7")
+        assert "IndexEqScan" in plan
+        assert indexed_db.execute("SELECT s FROM T WHERE id = 7").scalar() == "s7"
+
+    def test_range_uses_btree(self, indexed_db):
+        plan = indexed_db.explain("SELECT * FROM T WHERE id > 290")
+        assert "IndexRangeScan" in plan
+        assert len(indexed_db.execute("SELECT * FROM T WHERE id > 290").rows) == 9
+
+    def test_hash_index_equality(self, indexed_db):
+        plan = indexed_db.explain("SELECT * FROM T WHERE v = 3")
+        assert "IndexEqScan(T.iv)" in plan
+
+    def test_hash_index_not_used_for_range(self, indexed_db):
+        plan = indexed_db.explain("SELECT * FROM T WHERE v > 3")
+        assert "iv" not in plan
+
+    def test_join_uses_index_or_hash(self, indexed_db):
+        indexed_db.execute("CREATE TABLE U (ref INTEGER)")
+        rows = ", ".join(f"({i % 300})" for i in range(600))
+        indexed_db.execute(f"INSERT INTO U VALUES {rows}")
+        indexed_db.execute("ANALYZE")
+        plan = indexed_db.explain("SELECT T.s FROM U, T WHERE U.ref = T.id")
+        assert "HashJoin" in plan or "IndexNLJoin" in plan
+
+    def test_plans_produce_same_rows_with_and_without_rewrite(self, people_db):
+        query = (
+            "SELECT p.name FROM (SELECT * FROM PEOPLE WHERE age > 20) AS p "
+            "WHERE p.city = 'NY' ORDER BY p.id"
+        )
+        with_rewrite = people_db.execute(query).rows
+        people_db.enable_rewrite = False
+        without_rewrite = people_db.execute(query).rows
+        people_db.enable_rewrite = True
+        assert with_rewrite == without_rewrite
+
+
+class TestResultHelpers:
+    def test_scalar_and_first(self, people_db):
+        result = people_db.execute("SELECT id, name FROM PEOPLE ORDER BY id")
+        assert result.scalar() == 1
+        assert result.first() == (1, "ann")
+        assert len(result) == 5
+        assert list(result)[0] == (1, "ann")
+
+    def test_pretty(self, people_db):
+        text = people_db.execute("SELECT id, name FROM PEOPLE ORDER BY id").pretty()
+        assert "id" in text and "ann" in text and "NULL" not in text
+
+    def test_pretty_truncation(self, people_db):
+        text = people_db.execute("SELECT id FROM PEOPLE").pretty(max_rows=2)
+        assert "more rows" in text
+
+    def test_io_stats_shape(self, people_db):
+        people_db.reset_io_stats()
+        people_db.execute("SELECT * FROM PEOPLE")
+        stats = people_db.io_stats()
+        assert set(stats) == {
+            "disk_reads", "disk_writes", "buffer_hits", "buffer_misses",
+            "evictions",
+        }

@@ -1,0 +1,424 @@
+"""SELECT semantics end to end through the engine."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError, TypeCheckError
+from repro.relational.engine import Database
+
+
+class TestBasicSelect:
+    def test_select_star(self, people_db):
+        result = people_db.execute("SELECT * FROM PEOPLE ORDER BY id")
+        assert result.columns == ["id", "name", "age", "city", "score"]
+        assert len(result.rows) == 5
+
+    def test_projection_and_alias(self, people_db):
+        result = people_db.execute("SELECT name AS who, age FROM PEOPLE ORDER BY id")
+        assert result.columns == ["who", "age"]
+        assert result.rows[0] == ("ann", 30)
+
+    def test_expression_columns(self, people_db):
+        result = people_db.execute(
+            "SELECT age * 2, name || '!' FROM PEOPLE WHERE id = 1"
+        )
+        assert result.rows == [(60, "ann!")]
+
+    def test_where_filters(self, people_db):
+        result = people_db.execute("SELECT name FROM PEOPLE WHERE city = 'NY'")
+        assert sorted(result.rows) == [("ann",), ("cat",)]
+
+    def test_null_in_where_excludes(self, people_db):
+        # eve has NULL city: city = 'NY' is unknown, excluded; so is <> 'NY'.
+        eq = people_db.execute("SELECT COUNT(*) FROM PEOPLE WHERE city = 'NY'")
+        ne = people_db.execute("SELECT COUNT(*) FROM PEOPLE WHERE city <> 'NY'")
+        assert eq.scalar() + ne.scalar() == 4  # eve missing from both
+
+    def test_is_null(self, people_db):
+        result = people_db.execute("SELECT name FROM PEOPLE WHERE age IS NULL")
+        assert result.rows == [("dan",)]
+        result = people_db.execute(
+            "SELECT COUNT(*) FROM PEOPLE WHERE age IS NOT NULL"
+        )
+        assert result.scalar() == 4
+
+    def test_between_and_in(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE WHERE age BETWEEN 25 AND 30 ORDER BY id"
+        )
+        assert result.rows == [("ann",), ("bob",), ("eve",)]
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE WHERE city IN ('NY', 'LA') ORDER BY id"
+        )
+        assert result.rows == [("ann",), ("cat",), ("dan",)]
+
+    def test_like(self, people_db):
+        result = people_db.execute("SELECT name FROM PEOPLE WHERE name LIKE '%a%'")
+        assert sorted(result.rows) == [("ann",), ("cat",), ("dan",)]
+
+    def test_case(self, people_db):
+        result = people_db.execute(
+            "SELECT name, CASE WHEN age >= 30 THEN 'old' WHEN age IS NULL "
+            "THEN 'unknown' ELSE 'young' END FROM PEOPLE ORDER BY id"
+        )
+        assert [row[1] for row in result.rows] == [
+            "old", "young", "old", "unknown", "young",
+        ]
+
+    def test_scalar_functions(self, people_db):
+        result = people_db.execute(
+            "SELECT UPPER(name), LENGTH(name), ABS(0 - age), "
+            "COALESCE(age, 0) FROM PEOPLE WHERE id = 4"
+        )
+        assert result.rows == [("DAN", 3, None, 0)]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2").scalar() == 3
+
+    def test_distinct(self, people_db):
+        result = people_db.execute("SELECT DISTINCT age FROM PEOPLE")
+        assert sorted(result.rows, key=lambda r: (r[0] is None, r[0])) == [
+            (25,), (30,), (35,), (None,),
+        ]
+
+    def test_unknown_column_raises(self, people_db):
+        with pytest.raises(CatalogError):
+            people_db.execute("SELECT nope FROM PEOPLE")
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM MISSING")
+
+    def test_ambiguous_column_raises(self, people_db):
+        people_db.execute("CREATE TABLE OTHER (name VARCHAR)")
+        with pytest.raises(CatalogError):
+            people_db.execute("SELECT name FROM PEOPLE, OTHER")
+
+
+class TestOrderLimit:
+    def test_order_asc_desc(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE ORDER BY age DESC, name ASC"
+        )
+        # NULLs first ascending => last descending
+        assert [r[0] for r in result.rows] == ["cat", "ann", "bob", "eve", "dan"]
+
+    def test_order_by_alias(self, people_db):
+        result = people_db.execute(
+            "SELECT age * 2 AS dbl FROM PEOPLE WHERE age IS NOT NULL ORDER BY dbl"
+        )
+        assert [r[0] for r in result.rows] == [50, 50, 60, 70]
+
+    def test_order_by_position(self, people_db):
+        result = people_db.execute("SELECT name, age FROM PEOPLE ORDER BY 2, 1")
+        assert result.rows[0][0] == "dan"  # NULL age sorts first
+
+    def test_order_by_unprojected_column(self, people_db):
+        result = people_db.execute("SELECT name FROM PEOPLE ORDER BY age DESC")
+        assert result.columns == ["name"]
+        assert result.rows[0] == ("cat",)
+
+    def test_limit_offset(self, people_db):
+        result = people_db.execute("SELECT id FROM PEOPLE ORDER BY id LIMIT 2 OFFSET 1")
+        assert result.rows == [(2,), (3,)]
+
+    def test_order_by_expression(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE WHERE score IS NOT NULL ORDER BY score * -1"
+        )
+        assert [r[0] for r in result.rows] == ["dan", "bob", "ann", "eve"]
+
+    def test_order_with_distinct_requires_projected(self, people_db):
+        with pytest.raises(TypeCheckError):
+            people_db.execute("SELECT DISTINCT name FROM PEOPLE ORDER BY age")
+
+
+class TestJoins:
+    @pytest.fixture
+    def join_db(self, people_db):
+        people_db.execute(
+            "CREATE TABLE PETS (pid INTEGER PRIMARY KEY, owner INTEGER, "
+            "species VARCHAR)"
+        )
+        people_db.execute(
+            "INSERT INTO PETS VALUES (1, 1, 'cat'), (2, 1, 'dog'), "
+            "(3, 3, 'fish'), (4, NULL, 'owl')"
+        )
+        return people_db
+
+    def test_inner_join(self, join_db):
+        result = join_db.execute(
+            "SELECT p.name, q.species FROM PEOPLE p JOIN PETS q "
+            "ON p.id = q.owner ORDER BY q.pid"
+        )
+        assert result.rows == [("ann", "cat"), ("ann", "dog"), ("cat", "fish")]
+
+    def test_implicit_join(self, join_db):
+        result = join_db.execute(
+            "SELECT p.name FROM PEOPLE p, PETS q WHERE p.id = q.owner "
+            "AND q.species = 'dog'"
+        )
+        assert result.rows == [("ann",)]
+
+    def test_left_join_pads_nulls(self, join_db):
+        result = join_db.execute(
+            "SELECT p.name, q.species FROM PEOPLE p LEFT JOIN PETS q "
+            "ON p.id = q.owner ORDER BY p.id, q.pid"
+        )
+        assert ("bob", None) in result.rows
+        assert len(result.rows) == 6  # 3 matches + 3 padded
+
+    def test_left_join_where_after_padding(self, join_db):
+        result = join_db.execute(
+            "SELECT p.name FROM PEOPLE p LEFT JOIN PETS q ON p.id = q.owner "
+            "WHERE q.species IS NULL ORDER BY p.id"
+        )
+        assert result.rows == [("bob",), ("dan",), ("eve",)]
+
+    def test_null_never_joins(self, join_db):
+        result = join_db.execute(
+            "SELECT COUNT(*) FROM PEOPLE p JOIN PETS q ON p.id = q.owner"
+        )
+        assert result.scalar() == 3  # the NULL-owner pet matches nobody
+
+    def test_self_join(self, people_db):
+        result = people_db.execute(
+            "SELECT a.name, b.name FROM PEOPLE a, PEOPLE b "
+            "WHERE a.age = b.age AND a.id < b.id"
+        )
+        assert result.rows == [("bob", "eve")]
+
+    def test_three_way_join(self, join_db):
+        join_db.execute("CREATE TABLE CITIES (cname VARCHAR, state VARCHAR)")
+        join_db.execute(
+            "INSERT INTO CITIES VALUES ('NY', 'New York'), ('SF', 'California')"
+        )
+        result = join_db.execute(
+            "SELECT p.name, q.species, c.state FROM PEOPLE p, PETS q, CITIES c "
+            "WHERE p.id = q.owner AND p.city = c.cname ORDER BY q.pid"
+        )
+        assert result.rows == [
+            ("ann", "cat", "New York"),
+            ("ann", "dog", "New York"),
+            ("cat", "fish", "New York"),
+        ]
+
+    def test_join_with_expression_condition(self, join_db):
+        result = join_db.execute(
+            "SELECT COUNT(*) FROM PEOPLE p JOIN PETS q ON p.id + 0 = q.owner"
+        )
+        assert result.scalar() == 3
+
+
+class TestAggregation:
+    def test_count_sum_avg_min_max(self, people_db):
+        result = people_db.execute(
+            "SELECT COUNT(*), COUNT(age), SUM(age), AVG(age), MIN(age), MAX(age) "
+            "FROM PEOPLE"
+        )
+        assert result.rows == [(5, 4, 115, 115 / 4, 25, 35)]
+
+    def test_aggregates_ignore_nulls(self, people_db):
+        assert people_db.execute("SELECT SUM(score) FROM PEOPLE").scalar() == 8.5
+
+    def test_empty_aggregate(self, people_db):
+        result = people_db.execute(
+            "SELECT COUNT(*), SUM(age), MIN(age) FROM PEOPLE WHERE id > 100"
+        )
+        assert result.rows == [(0, None, None)]
+
+    def test_group_by(self, people_db):
+        result = people_db.execute(
+            "SELECT age, COUNT(*) FROM PEOPLE GROUP BY age ORDER BY 1"
+        )
+        assert result.rows == [(None, 1), (25, 2), (30, 1), (35, 1)]
+
+    def test_group_by_with_having(self, people_db):
+        result = people_db.execute(
+            "SELECT age, COUNT(*) AS n FROM PEOPLE GROUP BY age HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [(25, 2)]
+
+    def test_group_key_expression_in_head(self, people_db):
+        result = people_db.execute(
+            "SELECT age + 1, COUNT(*) FROM PEOPLE WHERE age IS NOT NULL "
+            "GROUP BY age ORDER BY 1"
+        )
+        assert result.rows == [(26, 2), (31, 1), (36, 1)]
+
+    def test_count_distinct(self, people_db):
+        assert (
+            people_db.execute("SELECT COUNT(DISTINCT age) FROM PEOPLE").scalar() == 3
+        )
+
+    def test_ungrouped_column_rejected(self, people_db):
+        with pytest.raises(TypeCheckError):
+            people_db.execute("SELECT name, COUNT(*) FROM PEOPLE GROUP BY age")
+
+    def test_group_by_multiple_keys(self, people_db):
+        result = people_db.execute(
+            "SELECT city, age, COUNT(*) FROM PEOPLE GROUP BY city, age"
+        )
+        assert len(result.rows) == 5
+
+    def test_aggregate_of_expression(self, people_db):
+        assert (
+            people_db.execute("SELECT SUM(age * 2) FROM PEOPLE").scalar() == 230
+        )
+
+
+class TestSubqueries:
+    def test_in_subquery(self, people_db):
+        people_db.execute("CREATE TABLE VIP (vid INTEGER)")
+        people_db.execute("INSERT INTO VIP VALUES (1), (3)")
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE WHERE id IN (SELECT vid FROM VIP) ORDER BY id"
+        )
+        assert result.rows == [("ann",), ("cat",)]
+
+    def test_not_in_with_null_is_empty(self, people_db):
+        people_db.execute("CREATE TABLE NULLY (v INTEGER)")
+        people_db.execute("INSERT INTO NULLY VALUES (1), (NULL)")
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE WHERE id NOT IN (SELECT v FROM NULLY)"
+        )
+        assert result.rows == []  # NULL in the list makes NOT IN unknown
+
+    def test_correlated_exists(self, people_db):
+        people_db.execute("CREATE TABLE PETS (owner INTEGER)")
+        people_db.execute("INSERT INTO PETS VALUES (1), (1), (3)")
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE p WHERE EXISTS "
+            "(SELECT 1 FROM PETS q WHERE q.owner = p.id) ORDER BY id"
+        )
+        assert result.rows == [("ann",), ("cat",)]
+
+    def test_correlated_scalar_subquery(self, people_db):
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE p WHERE p.age = "
+            "(SELECT MAX(age) FROM PEOPLE q WHERE q.city = p.city)"
+        )
+        # ann(30) < max NY (35); dan/eve have NULLs -> unknown; bob and cat win.
+        assert sorted(result.rows) == [("bob",), ("cat",)]
+
+    def test_scalar_subquery_multiple_rows_raises(self, people_db):
+        with pytest.raises(ExecutionError):
+            people_db.execute(
+                "SELECT name FROM PEOPLE WHERE age = (SELECT age FROM PEOPLE)"
+            )
+
+    def test_scalar_subquery_empty_is_null(self, people_db):
+        result = people_db.execute(
+            "SELECT (SELECT age FROM PEOPLE WHERE id = 99) FROM PEOPLE WHERE id = 1"
+        )
+        assert result.rows == [(None,)]
+
+    def test_nested_correlation_two_levels(self, people_db):
+        people_db.execute("CREATE TABLE PETS (owner INTEGER, species VARCHAR)")
+        people_db.execute(
+            "INSERT INTO PETS VALUES (1, 'cat'), (2, 'dog'), (3, 'cat')"
+        )
+        result = people_db.execute(
+            "SELECT name FROM PEOPLE p WHERE EXISTS ("
+            " SELECT 1 FROM PETS q WHERE q.owner = p.id AND EXISTS ("
+            "  SELECT 1 FROM PEOPLE r WHERE r.id <> p.id AND EXISTS ("
+            "   SELECT 1 FROM PETS s WHERE s.owner = r.id "
+            "   AND s.species = q.species)))"
+            " ORDER BY id"
+        )
+        assert result.rows == [("ann",), ("cat",)]
+
+    def test_subquery_in_select_list(self, people_db):
+        result = people_db.execute(
+            "SELECT name, (SELECT COUNT(*) FROM PEOPLE q WHERE q.age < p.age) "
+            "FROM PEOPLE p WHERE p.id = 3"
+        )
+        assert result.rows == [("cat", 3)]
+
+    def test_derived_table(self, people_db):
+        result = people_db.execute(
+            "SELECT big.name FROM (SELECT name, age FROM PEOPLE WHERE age > 26) "
+            "AS big ORDER BY big.age"
+        )
+        assert result.rows == [("ann",), ("cat",)]
+
+
+class TestSetOperations:
+    def test_union_distinct(self, people_db):
+        result = people_db.execute(
+            "SELECT city FROM PEOPLE UNION SELECT city FROM PEOPLE"
+        )
+        assert len(result.rows) == 4  # NY, SF, LA, NULL
+
+    def test_union_all(self, people_db):
+        result = people_db.execute(
+            "SELECT city FROM PEOPLE UNION ALL SELECT city FROM PEOPLE"
+        )
+        assert len(result.rows) == 10
+
+    def test_intersect(self, people_db):
+        result = people_db.execute(
+            "SELECT age FROM PEOPLE WHERE id < 3 INTERSECT "
+            "SELECT age FROM PEOPLE WHERE id >= 3"
+        )
+        assert result.rows == [(25,)]  # bob (id 2) and eve (id 5) share 25
+
+    def test_intersect_all_multiplicity(self, db):
+        db.execute("CREATE TABLE A (x INTEGER)")
+        db.execute("CREATE TABLE B (x INTEGER)")
+        db.execute("INSERT INTO A VALUES (1), (1), (1), (2)")
+        db.execute("INSERT INTO B VALUES (1), (1), (3)")
+        result = db.execute("SELECT x FROM A INTERSECT ALL SELECT x FROM B")
+        assert result.rows == [(1,), (1,)]
+
+    def test_except(self, people_db):
+        result = people_db.execute(
+            "SELECT id FROM PEOPLE EXCEPT SELECT id FROM PEOPLE WHERE age = 25"
+        )
+        assert sorted(result.rows) == [(1,), (3,), (4,)]
+
+    def test_except_all_multiplicity(self, db):
+        db.execute("CREATE TABLE A (x INTEGER)")
+        db.execute("CREATE TABLE B (x INTEGER)")
+        db.execute("INSERT INTO A VALUES (1), (1), (1)")
+        db.execute("INSERT INTO B VALUES (1)")
+        result = db.execute("SELECT x FROM A EXCEPT ALL SELECT x FROM B")
+        assert result.rows == [(1,), (1,)]
+
+    def test_mismatched_columns_raise(self, people_db):
+        with pytest.raises(TypeCheckError):
+            people_db.execute("SELECT id, name FROM PEOPLE UNION SELECT id FROM PEOPLE")
+
+
+class TestViews:
+    def test_view_query(self, people_db):
+        people_db.execute(
+            "CREATE VIEW NYERS AS SELECT id, name FROM PEOPLE WHERE city = 'NY'"
+        )
+        result = people_db.execute("SELECT name FROM NYERS ORDER BY id")
+        assert result.rows == [("ann",), ("cat",)]
+
+    def test_view_over_view(self, people_db):
+        people_db.execute("CREATE VIEW V1 AS SELECT id, age FROM PEOPLE")
+        people_db.execute("CREATE VIEW V2 AS SELECT id FROM V1 WHERE age > 26")
+        assert sorted(people_db.execute("SELECT * FROM V2").rows) == [(1,), (3,)]
+
+    def test_view_sees_new_rows(self, people_db):
+        people_db.execute("CREATE VIEW OLD AS SELECT name FROM PEOPLE WHERE age > 31")
+        assert len(people_db.execute("SELECT * FROM OLD").rows) == 1
+        people_db.execute("INSERT INTO PEOPLE VALUES (9, 'zed', 99, 'NY', 0.0)")
+        assert len(people_db.execute("SELECT * FROM OLD").rows) == 2
+
+    def test_duplicate_view_name_raises(self, people_db):
+        people_db.execute("CREATE VIEW V AS SELECT 1 FROM PEOPLE")
+        with pytest.raises(CatalogError):
+            people_db.execute("CREATE VIEW V AS SELECT 2 FROM PEOPLE")
+
+    def test_view_validated_eagerly(self, people_db):
+        with pytest.raises(CatalogError):
+            people_db.execute("CREATE VIEW BAD AS SELECT * FROM NOPE")
+
+    def test_drop_view(self, people_db):
+        people_db.execute("CREATE VIEW V AS SELECT 1 FROM PEOPLE")
+        people_db.execute("DROP VIEW V")
+        with pytest.raises(CatalogError):
+            people_db.execute("SELECT * FROM V")

@@ -1,0 +1,274 @@
+"""SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.sql import ast
+from repro.relational.sql.lexer import tokenize
+from repro.relational.sql.parser import parse_sql, parse_statements
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize("SELECT a, 1.5 FROM t")]
+        assert kinds[:6] == [
+            ("IDENT", "SELECT"),
+            ("IDENT", "a"),
+            ("OP", ","),
+            ("NUMBER", "1.5"),
+            ("IDENT", "FROM"),
+            ("IDENT", "t"),
+        ]
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize("'abc")
+
+    def test_comments(self):
+        tokens = tokenize("a -- comment\n b /* block\n comment */ c")
+        assert [t.text for t in tokens if t.kind == "IDENT"] == ["a", "b", "c"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("/* oops")
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("a <= b <> c -> d || e")
+        ops = [t.text for t in tokens if t.kind == "OP"]
+        assert ops == ["<=", "<>", "->", "||"]
+
+    def test_hyphen_identifiers_off_by_default(self):
+        tokens = tokenize("a-b")
+        assert [t.text for t in tokens if t.kind != "EOF"] == ["a", "-", "b"]
+
+    def test_hyphen_identifiers_on(self):
+        tokens = tokenize("ALL-DEPS-ORG", hyphen_idents=True)
+        assert tokens[0].text == "ALL-DEPS-ORG"
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_scientific_notation(self):
+        tokens = tokenize("1e3 2.5E-2")
+        assert [t.text for t in tokens if t.kind == "NUMBER"] == ["1e3", "2.5E-2"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"Select"')
+        assert tokens[0].kind == "IDENT" and tokens[0].text == "Select"
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert len(stmt.select_items) == 2
+        assert isinstance(stmt.from_tables[0], ast.NamedTable)
+
+    def test_star_forms(self):
+        stmt = parse_sql("SELECT *, t.* FROM t")
+        assert isinstance(stmt.select_items[0].expr, ast.Star)
+        assert stmt.select_items[1].expr.table == "t"
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t AS u, v w")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "y"
+        assert stmt.from_tables[0].alias == "u"
+        assert stmt.from_tables[1].alias == "w"
+
+    def test_keyword_not_taken_as_alias(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = 1")
+        assert stmt.select_items[0].alias is None
+        assert stmt.where is not None
+
+    def test_operator_precedence(self):
+        stmt = parse_sql("SELECT 1 + 2 * 3 FROM t")
+        expr = stmt.select_items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_or_precedence(self):
+        stmt = parse_sql("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_not_in_between_like(self):
+        stmt = parse_sql(
+            "SELECT 1 FROM t WHERE a NOT IN (1, 2) AND b NOT BETWEEN 1 AND 3 "
+            "AND c NOT LIKE 'x%' AND d IS NOT NULL"
+        )
+        conjuncts = ast.conjuncts(stmt.where)
+        assert isinstance(conjuncts[0], ast.InList) and conjuncts[0].negated
+        assert isinstance(conjuncts[1], ast.Between) and conjuncts[1].negated
+        assert isinstance(conjuncts[2], ast.UnaryOp)
+        assert isinstance(conjuncts[3], ast.IsNull) and conjuncts[3].negated
+
+    def test_subqueries(self):
+        stmt = parse_sql(
+            "SELECT 1 FROM t WHERE a IN (SELECT x FROM u) "
+            "AND EXISTS (SELECT 1 FROM v) AND b = (SELECT MAX(y) FROM w)"
+        )
+        conjuncts = ast.conjuncts(stmt.where)
+        assert isinstance(conjuncts[0], ast.InSubquery)
+        assert isinstance(conjuncts[1], ast.Exists)
+        assert isinstance(conjuncts[2].right, ast.ScalarSubquery)
+
+    def test_joins(self):
+        stmt = parse_sql(
+            "SELECT 1 FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        join = stmt.from_tables[0]
+        assert isinstance(join, ast.Join) and join.kind == "LEFT"
+        assert join.left.kind == "INNER"
+
+    def test_cross_join(self):
+        stmt = parse_sql("SELECT 1 FROM a CROSS JOIN b")
+        assert stmt.from_tables[0].condition is None
+
+    def test_group_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 "
+            "ORDER BY a DESC LIMIT 10 OFFSET 5"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].ascending is False
+        assert stmt.limit == 10 and stmt.offset == 5
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+        assert not parse_sql("SELECT ALL a FROM t").distinct
+
+    def test_set_operations(self):
+        stmt = parse_sql("SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1")
+        assert isinstance(stmt, ast.SetOpStmt)
+        assert stmt.op == "UNION" and stmt.all
+        assert len(stmt.order_by) == 1
+
+    def test_nested_set_operations(self):
+        stmt = parse_sql(
+            "(SELECT a FROM t UNION SELECT b FROM u) EXCEPT SELECT c FROM v"
+        )
+        assert stmt.op == "EXCEPT"
+        assert stmt.left.op == "UNION"
+
+    def test_derived_table(self):
+        stmt = parse_sql("SELECT x FROM (SELECT a AS x FROM t) AS d")
+        assert isinstance(stmt.from_tables[0], ast.DerivedTable)
+
+    def test_case_expression(self):
+        stmt = parse_sql(
+            "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t"
+        )
+        case = stmt.select_items[0].expr
+        assert isinstance(case, ast.Case)
+        assert case.else_result is not None
+
+    def test_simple_case(self):
+        stmt = parse_sql("SELECT CASE a WHEN 1 THEN 'x' END FROM t")
+        case = stmt.select_items[0].expr
+        assert case.whens[0][0].op == "="
+
+    def test_cast(self):
+        stmt = parse_sql("SELECT CAST(a AS INTEGER) FROM t")
+        assert stmt.select_items[0].expr.name == "CAST_INTEGER"
+
+    def test_count_distinct(self):
+        stmt = parse_sql("SELECT COUNT(DISTINCT a) FROM t")
+        assert stmt.select_items[0].expr.distinct
+
+    def test_unary_minus_folds_literals(self):
+        stmt = parse_sql("SELECT -5 FROM t")
+        assert stmt.select_items[0].expr.value == -5
+
+    def test_roundtrip_to_sql(self):
+        source = (
+            "SELECT d.a, COUNT(*) AS n FROM t AS d WHERE (d.a > 1) "
+            "GROUP BY d.a ORDER BY n ASC LIMIT 3"
+        )
+        stmt = parse_sql(source)
+        reparsed = parse_sql(stmt.to_sql())
+        assert reparsed.to_sql() == stmt.to_sql()
+
+
+class TestErrorHandling:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t garbage extra ,")
+
+    def test_missing_from_item(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM")
+
+    def test_bad_limit(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a FROM t LIMIT 1.5")
+
+    def test_empty_source(self):
+        with pytest.raises(ParseError):
+            parse_sql("")
+
+    def test_error_has_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_sql("SELECT a FROM\nWHERE")
+        assert "line 2" in str(info.value)
+
+
+class TestOtherStatements:
+    def test_insert_values(self):
+        stmt = parse_sql("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_select(self):
+        stmt = parse_sql("INSERT INTO t SELECT * FROM u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_sql("DELETE FROM t")
+        assert stmt.where is None
+
+    def test_create_table(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(10) NOT NULL, "
+            "c INTEGER REFERENCES u(x))"
+        )
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null and stmt.columns[1].size == 10
+        assert stmt.columns[2].references == ("U", "x")
+
+    def test_create_table_if_not_exists(self):
+        stmt = parse_sql("CREATE TABLE IF NOT EXISTS t (a INTEGER)")
+        assert stmt.if_not_exists
+
+    def test_create_index(self):
+        stmt = parse_sql("CREATE UNIQUE INDEX i ON t (a, b) USING HASH")
+        assert stmt.unique and stmt.kind == "hash" and stmt.columns == ["a", "b"]
+
+    def test_create_view(self):
+        stmt = parse_sql("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(stmt.query, ast.SelectStmt)
+
+    def test_drop_variants(self):
+        assert parse_sql("DROP TABLE IF EXISTS t").if_exists
+        assert parse_sql("DROP VIEW v").kind == "VIEW"
+        assert parse_sql("DROP INDEX i ON t").table == "t"
+
+    def test_txn_statements(self):
+        batch = parse_statements("BEGIN; COMMIT; ROLLBACK; ANALYZE t;")
+        names = [type(s).__name__ for s in batch]
+        assert names == ["BeginStmt", "CommitStmt", "RollbackStmt", "AnalyzeStmt"]
+
+    def test_statement_batch(self):
+        batch = parse_statements("SELECT 1 FROM t; SELECT 2 FROM t")
+        assert len(batch) == 2

@@ -1,0 +1,212 @@
+"""QGM construction and the rewrite engine's rules."""
+
+import pytest
+
+from repro.errors import CatalogError, TypeCheckError
+from repro.relational.engine import Database
+from repro.relational.qgm.build import QGMBuilder
+from repro.relational.qgm.model import (
+    BaseTableBox,
+    GroupByBox,
+    OuterRef,
+    QGMColumnRef,
+    SelectBox,
+    SetOpBox,
+    SubqueryExpr,
+    TopBox,
+    collect_outer_refs,
+)
+from repro.relational.rewrite import Rewriter
+from repro.relational.sql.parser import parse_sql
+
+
+@pytest.fixture
+def builder(people_db):
+    people_db.execute("CREATE TABLE PETS (pid INTEGER PRIMARY KEY, owner INTEGER)")
+    return QGMBuilder(people_db.catalog), people_db
+
+
+def build(builder_db, sql):
+    builder, _ = builder_db
+    return builder.build_query(parse_sql(sql))
+
+
+class TestQGMBuild:
+    def test_simple_select_box(self, builder):
+        box = build(builder, "SELECT name FROM PEOPLE WHERE age > 1")
+        assert isinstance(box, SelectBox)
+        assert box.output_columns() == ["name"]
+        assert len(box.quantifiers) == 1
+        assert isinstance(box.quantifiers[0].box, BaseTableBox)
+        assert len(box.predicates) == 1
+
+    def test_where_split_into_conjuncts(self, builder):
+        box = build(builder, "SELECT 1 FROM PEOPLE WHERE age > 1 AND city = 'NY'")
+        assert len(box.predicates) == 2
+
+    def test_join_becomes_predicates(self, builder):
+        box = build(
+            builder,
+            "SELECT 1 FROM PEOPLE p JOIN PETS q ON p.id = q.owner",
+        )
+        assert len(box.quantifiers) == 2
+        assert len(box.predicates) == 1
+
+    def test_left_join_recorded_separately(self, builder):
+        box = build(
+            builder,
+            "SELECT 1 FROM PEOPLE p LEFT JOIN PETS q ON p.id = q.owner",
+        )
+        assert box.outer_joins == [("q", box.outer_joins[0][1])]
+        assert box.predicates == []
+
+    def test_group_by_box(self, builder):
+        box = build(builder, "SELECT city, COUNT(*) FROM PEOPLE GROUP BY city")
+        assert isinstance(box, GroupByBox)
+        assert len(box.group_keys) == 1
+        assert box.output_columns() == ["city", "col2"]
+
+    def test_top_box_for_order_limit(self, builder):
+        box = build(builder, "SELECT name FROM PEOPLE ORDER BY name LIMIT 2")
+        assert isinstance(box, TopBox)
+        assert box.limit == 2
+
+    def test_set_op_box(self, builder):
+        box = build(builder, "SELECT id FROM PEOPLE UNION SELECT pid FROM PETS")
+        assert isinstance(box, SetOpBox)
+
+    def test_correlated_subquery_gets_outer_ref(self, builder):
+        box = build(
+            builder,
+            "SELECT 1 FROM PEOPLE p WHERE EXISTS "
+            "(SELECT 1 FROM PETS q WHERE q.owner = p.id)",
+        )
+        sub = box.predicates[0]
+        assert isinstance(sub, SubqueryExpr)
+        assert sub.correlated
+        assert ("p", "id") in collect_outer_refs(sub.box)
+
+    def test_uncorrelated_subquery_flagged(self, builder):
+        box = build(
+            builder,
+            "SELECT 1 FROM PEOPLE WHERE id IN (SELECT owner FROM PETS)",
+        )
+        assert not box.predicates[0].correlated
+
+    def test_view_expands_to_nested_box(self, builder):
+        _, db = builder
+        db.execute("CREATE VIEW V AS SELECT id, name FROM PEOPLE WHERE age > 1")
+        box = build(builder, "SELECT name FROM V")
+        assert isinstance(box.quantifiers[0].box, SelectBox)
+
+    def test_duplicate_alias_rejected(self, builder):
+        with pytest.raises(CatalogError):
+            build(builder, "SELECT 1 FROM PEOPLE p, PETS p")
+
+    def test_in_subquery_arity_checked(self, builder):
+        with pytest.raises(TypeCheckError):
+            build(builder, "SELECT 1 FROM PEOPLE WHERE id IN (SELECT pid, owner FROM PETS)")
+
+    def test_head_name_uniquification(self, builder):
+        box = build(builder, "SELECT id, id FROM PEOPLE")
+        assert box.output_columns() == ["id", "id_2"]
+
+
+class TestRewriteRules:
+    def test_derived_table_merged(self, builder):
+        box = build(
+            builder,
+            "SELECT d.name FROM (SELECT name, age FROM PEOPLE) AS d WHERE d.age > 1",
+        )
+        rewriter = Rewriter()
+        rewritten = rewriter.rewrite(box)
+        assert rewriter.merges >= 1
+        assert isinstance(rewritten.quantifiers[0].box, BaseTableBox)
+
+    def test_view_merged_into_query(self, builder):
+        _, db = builder
+        db.execute("CREATE VIEW V AS SELECT id, age FROM PEOPLE WHERE age > 1")
+        box = build(builder, "SELECT id FROM V WHERE age < 99")
+        rewriter = Rewriter()
+        rewritten = rewriter.rewrite(box)
+        assert rewriter.merges >= 1
+        # both the view's and the query's predicates now live in one box
+        assert len(rewritten.predicates) == 2
+
+    def test_distinct_child_not_merged_but_pushed_into(self, builder):
+        box = build(
+            builder,
+            "SELECT d.age FROM (SELECT DISTINCT age FROM PEOPLE) AS d "
+            "WHERE d.age > 1",
+        )
+        rewriter = Rewriter()
+        rewritten = rewriter.rewrite(box)
+        assert rewriter.merges == 0
+        assert rewriter.pushdowns == 1
+        child = rewritten.quantifiers[0].box
+        assert child.distinct
+        assert len(child.predicates) == 1
+
+    def test_pushdown_through_union(self, builder):
+        box = build(
+            builder,
+            "SELECT u.v FROM (SELECT age AS v FROM PEOPLE UNION "
+            "SELECT pid AS v FROM PETS) AS u WHERE u.v > 5",
+        )
+        rewriter = Rewriter()
+        rewritten = rewriter.rewrite(box)
+        assert rewriter.pushdowns >= 1
+
+    def test_constant_folding(self, builder):
+        box = build(builder, "SELECT 1 FROM PEOPLE WHERE 1 + 1 = 2 AND age > 0")
+        rewriter = Rewriter()
+        rewritten = rewriter.rewrite(box)
+        assert rewriter.folds >= 1
+        assert len(rewritten.predicates) == 1  # the TRUE conjunct is gone
+
+    def test_rules_can_be_disabled(self, builder):
+        box = build(
+            builder,
+            "SELECT d.name FROM (SELECT name FROM PEOPLE) AS d",
+        )
+        rewriter = Rewriter(enable_merge=False, enable_pushdown=False, enable_fold=False)
+        rewriter.rewrite(box)
+        assert rewriter.merges == 0
+
+    def test_rewrite_preserves_results(self, people_db):
+        queries = [
+            "SELECT d.name FROM (SELECT name, age FROM PEOPLE WHERE age > 20) d "
+            "WHERE d.age < 99 ORDER BY d.name",
+            "SELECT u.v FROM (SELECT age AS v FROM PEOPLE UNION "
+            "SELECT id AS v FROM PEOPLE) u WHERE u.v > 5 ORDER BY u.v",
+            "SELECT d.c FROM (SELECT city, COUNT(*) AS c FROM PEOPLE "
+            "GROUP BY city) d WHERE d.c > 1 ORDER BY d.c",
+        ]
+        for query in queries:
+            people_db.enable_rewrite = True
+            with_rules = people_db.execute(query).rows
+            people_db.enable_rewrite = False
+            without_rules = people_db.execute(query).rows
+            people_db.enable_rewrite = True
+            assert with_rules == without_rules, query
+
+    def test_merge_renames_colliding_quantifiers(self, builder):
+        # inner alias 'p' collides with the outer 'p'
+        box = build(
+            builder,
+            "SELECT p.id FROM PEOPLE p, "
+            "(SELECT p.pid AS pid FROM PETS p) AS d WHERE p.id = d.pid",
+        )
+        rewritten = Rewriter().rewrite(box)
+        names = [q.name for q in rewritten.quantifiers]
+        assert len(names) == len(set(names))
+
+    def test_correlated_subquery_boxes_also_rewritten(self, builder):
+        box = build(
+            builder,
+            "SELECT 1 FROM PEOPLE p WHERE EXISTS ("
+            "SELECT 1 FROM (SELECT owner FROM PETS) AS d WHERE d.owner = p.id)",
+        )
+        rewriter = Rewriter()
+        rewriter.rewrite(box)
+        assert rewriter.merges >= 1

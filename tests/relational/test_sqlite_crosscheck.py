@@ -1,0 +1,198 @@
+"""Cross-check our SQL semantics against SQLite.
+
+SQLite is used purely as a *reference oracle* for the SQL dialect both
+engines share — the engine itself never uses it.  Includes a randomized
+query generator (hypothesis) comparing result multisets.
+"""
+
+import sqlite3
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.engine import Database
+
+ROWS = [
+    (1, "ann", 30, "NY", 1.5),
+    (2, "bob", 25, "SF", 2.5),
+    (3, "cat", 35, "NY", None),
+    (4, "dan", None, "LA", 4.0),
+    (5, "eve", 25, None, 0.5),
+    (6, "fox", 25, "NY", 2.5),
+]
+
+PET_ROWS = [
+    (1, 1, "cat", 4),
+    (2, 1, "dog", 7),
+    (3, 3, "fish", 1),
+    (4, None, "owl", 2),
+    (5, 6, "cat", 3),
+]
+
+
+@pytest.fixture
+def engines():
+    ours = Database()
+    ours.execute(
+        "CREATE TABLE P (id INTEGER PRIMARY KEY, name VARCHAR, age INTEGER, "
+        "city VARCHAR, score FLOAT)"
+    )
+    ours.execute(
+        "CREATE TABLE Q (pid INTEGER PRIMARY KEY, owner INTEGER, "
+        "species VARCHAR, age INTEGER)"
+    )
+    ref = sqlite3.connect(":memory:")
+    ref.execute("CREATE TABLE P (id INTEGER PRIMARY KEY, name TEXT, age INTEGER, city TEXT, score REAL)")
+    ref.execute("CREATE TABLE Q (pid INTEGER PRIMARY KEY, owner INTEGER, species TEXT, age INTEGER)")
+    for row in ROWS:
+        ref.execute("INSERT INTO P VALUES (?,?,?,?,?)", row)
+        values = ", ".join("NULL" if v is None else repr(v) for v in row)
+        ours.execute(f"INSERT INTO P VALUES ({values})")
+    for row in PET_ROWS:
+        ref.execute("INSERT INTO Q VALUES (?,?,?,?)", row)
+        values = ", ".join("NULL" if v is None else repr(v) for v in row)
+        ours.execute(f"INSERT INTO Q VALUES ({values})")
+    return ours, ref
+
+
+def norm(rows):
+    """Multiset comparison key with int/float unification."""
+    def cell(v):
+        if isinstance(v, float) and v.is_integer():
+            return int(v)
+        return v
+    return sorted(
+        (tuple(cell(v) for v in row) for row in rows),
+        key=lambda r: tuple((v is None, str(type(v)), v if v is not None else 0) for v in r),
+    )
+
+
+def check(engines, query, ordered=False):
+    ours, ref = engines
+    mine = ours.execute(query).rows
+    theirs = [tuple(r) for r in ref.execute(query).fetchall()]
+    if ordered:
+        assert [tuple(r) for r in mine] == theirs, query
+    else:
+        assert norm(mine) == norm(theirs), query
+
+
+CROSSCHECK_QUERIES = [
+    "SELECT * FROM P",
+    "SELECT name, age FROM P WHERE age > 25",
+    "SELECT name FROM P WHERE age > 25 AND city = 'NY'",
+    "SELECT name FROM P WHERE age IS NULL OR city IS NULL",
+    "SELECT name FROM P WHERE age BETWEEN 25 AND 30",
+    "SELECT name FROM P WHERE name LIKE '%a%'",
+    "SELECT name FROM P WHERE age IN (25, 35)",
+    "SELECT name FROM P WHERE age NOT IN (25, 35)",
+    "SELECT DISTINCT age FROM P",
+    "SELECT DISTINCT city, age FROM P",
+    "SELECT COUNT(*), COUNT(age), COUNT(DISTINCT age) FROM P",
+    "SELECT SUM(age), AVG(score), MIN(name), MAX(score) FROM P",
+    "SELECT city, COUNT(*) FROM P GROUP BY city",
+    "SELECT city, SUM(age) FROM P GROUP BY city HAVING COUNT(*) > 1",
+    "SELECT age, city, COUNT(*) FROM P GROUP BY age, city",
+    "SELECT P.name, Q.species FROM P, Q WHERE P.id = Q.owner",
+    "SELECT P.name, Q.species FROM P JOIN Q ON P.id = Q.owner",
+    "SELECT P.name, Q.species FROM P LEFT JOIN Q ON P.id = Q.owner",
+    "SELECT P.name FROM P LEFT JOIN Q ON P.id = Q.owner WHERE Q.pid IS NULL",
+    "SELECT a.name, b.name FROM P a, P b WHERE a.age = b.age AND a.id < b.id",
+    "SELECT name FROM P WHERE id IN (SELECT owner FROM Q)",
+    "SELECT name FROM P WHERE id NOT IN (SELECT owner FROM Q)",
+    "SELECT name FROM P WHERE id NOT IN (SELECT owner FROM Q WHERE owner IS NOT NULL)",
+    "SELECT name FROM P WHERE EXISTS (SELECT 1 FROM Q WHERE Q.owner = P.id)",
+    "SELECT name FROM P WHERE NOT EXISTS (SELECT 1 FROM Q WHERE Q.owner = P.id)",
+    "SELECT name FROM P WHERE age = (SELECT MAX(age) FROM P)",
+    "SELECT name, (SELECT COUNT(*) FROM Q WHERE Q.owner = P.id) FROM P",
+    "SELECT name FROM P WHERE score > (SELECT AVG(score) FROM P)",
+    "SELECT age FROM P UNION SELECT age FROM Q",
+    "SELECT age FROM P UNION ALL SELECT age FROM Q",
+    "SELECT age FROM P INTERSECT SELECT age FROM Q",
+    "SELECT age FROM P EXCEPT SELECT age FROM Q",
+    "SELECT d.name FROM (SELECT name, age FROM P WHERE age >= 25) AS d WHERE d.age < 31",
+    "SELECT CASE WHEN age >= 30 THEN 'o' WHEN age IS NULL THEN 'u' ELSE 'y' END FROM P",
+    "SELECT name, age * 2 + 1 FROM P",
+    "SELECT UPPER(name), LENGTH(city), ABS(score) FROM P",
+    "SELECT COALESCE(age, 0), COALESCE(city, 'none') FROM P",
+    "SELECT age + score FROM P",
+    "SELECT city FROM P WHERE NOT (age = 25)",
+    "SELECT city, AVG(age) FROM P WHERE score IS NOT NULL GROUP BY city",
+]
+
+ORDERED_QUERIES = [
+    "SELECT name FROM P ORDER BY name",
+    "SELECT name, age FROM P WHERE age IS NOT NULL ORDER BY age DESC, name",
+    "SELECT name FROM P ORDER BY id LIMIT 3",
+    "SELECT name FROM P ORDER BY id LIMIT 2 OFFSET 2",
+    "SELECT age, COUNT(*) AS n FROM P WHERE age IS NOT NULL GROUP BY age ORDER BY n DESC, age",
+]
+
+
+@pytest.mark.parametrize("query", CROSSCHECK_QUERIES)
+def test_crosscheck_unordered(engines, query):
+    check(engines, query)
+
+
+@pytest.mark.parametrize("query", ORDERED_QUERIES)
+def test_crosscheck_ordered(engines, query):
+    check(engines, query, ordered=True)
+
+
+# ---------------------------------------------------------------------------
+# Randomised crosscheck
+# ---------------------------------------------------------------------------
+
+_COLUMNS = ["id", "age", "score"]
+_COMPARATORS = ["=", "<>", "<", "<=", ">", ">="]
+
+
+@st.composite
+def predicates(draw, depth=0):
+    kind = draw(st.sampled_from(
+        ["cmp", "isnull", "between", "in"] + (["and", "or", "not"] if depth < 2 else [])
+    ))
+    if kind == "cmp":
+        column = draw(st.sampled_from(_COLUMNS))
+        op = draw(st.sampled_from(_COMPARATORS))
+        value = draw(st.integers(min_value=-5, max_value=40))
+        return f"{column} {op} {value}"
+    if kind == "isnull":
+        column = draw(st.sampled_from(_COLUMNS))
+        negated = draw(st.booleans())
+        return f"{column} IS {'NOT ' if negated else ''}NULL"
+    if kind == "between":
+        column = draw(st.sampled_from(_COLUMNS))
+        low = draw(st.integers(min_value=0, max_value=20))
+        high = draw(st.integers(min_value=20, max_value=40))
+        return f"{column} BETWEEN {low} AND {high}"
+    if kind == "in":
+        column = draw(st.sampled_from(_COLUMNS))
+        items = draw(st.lists(st.integers(0, 40), min_size=1, max_size=4))
+        return f"{column} IN ({', '.join(map(str, items))})"
+    if kind == "not":
+        return f"NOT ({draw(predicates(depth=depth + 1))})"
+    left = draw(predicates(depth=depth + 1))
+    right = draw(predicates(depth=depth + 1))
+    return f"({left}) {kind.upper()} ({right})"
+
+
+@settings(max_examples=80, deadline=None)
+@given(pred=predicates())
+def test_random_predicates_match_sqlite(pred):
+    ours = Database()
+    ours.execute(
+        "CREATE TABLE P (id INTEGER PRIMARY KEY, name VARCHAR, age INTEGER, "
+        "city VARCHAR, score FLOAT)"
+    )
+    ref = sqlite3.connect(":memory:")
+    ref.execute(
+        "CREATE TABLE P (id INTEGER PRIMARY KEY, name TEXT, age INTEGER, "
+        "city TEXT, score REAL)"
+    )
+    for row in ROWS:
+        ref.execute("INSERT INTO P VALUES (?,?,?,?,?)", row)
+        values = ", ".join("NULL" if v is None else repr(v) for v in row)
+        ours.execute(f"INSERT INTO P VALUES ({values})")
+    query = f"SELECT id FROM P WHERE {pred}"
+    assert norm(ours.execute(query).rows) == norm(ref.execute(query).fetchall()), query

@@ -1,0 +1,332 @@
+"""Storage layer: pages, disk, buffer pool, heap files, CO clustering."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.relational.storage import (
+    BufferPool,
+    CoCluster,
+    DiskManager,
+    HeapFile,
+    Page,
+    estimate_row_size,
+)
+
+
+class TestPage:
+    def test_insert_read(self):
+        page = Page(0)
+        slot = page.insert("T", (1, "x"))
+        assert page.read(slot) == ("T", (1, "x"))
+
+    def test_slots_are_stable_after_delete(self):
+        page = Page(0)
+        s0 = page.insert("T", (1,))
+        s1 = page.insert("T", (2,))
+        page.delete(s0)
+        assert page.read(s0) is None
+        assert page.read(s1) == ("T", (2,))
+
+    def test_deleted_slot_reused(self):
+        page = Page(0)
+        s0 = page.insert("T", (1,))
+        page.insert("T", (2,))
+        page.delete(s0)
+        s2 = page.insert("T", (3,))
+        assert s2 == s0
+
+    def test_byte_accounting(self):
+        page = Page(0, page_size=100)
+        row = (1, "abcdefgh")
+        size = estimate_row_size(row)
+        assert page.can_fit(row)
+        page.insert("T", row)
+        assert page.used_bytes == size
+        page.delete(0)
+        assert page.used_bytes == 0
+
+    def test_can_fit_respects_page_size(self):
+        page = Page(0, page_size=64)
+        big = ("x" * 100,)
+        assert not page.can_fit(big)
+
+    def test_update_adjusts_bytes(self):
+        page = Page(0, page_size=1000)
+        page.insert("T", ("short",))
+        before = page.used_bytes
+        page.update(0, ("a much longer string value",))
+        assert page.used_bytes > before
+
+    def test_mixed_table_slots(self):
+        page = Page(0)
+        page.insert("A", (1,))
+        page.insert("B", (2,))
+        assert page.read(0)[0] == "A"
+        assert page.read(1)[0] == "B"
+
+
+class TestDiskManager:
+    def test_allocate_and_rw(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        page = disk.read(pid)
+        page.insert("T", (1,))
+        disk.write(page)
+        again = disk.read(pid)
+        assert again.read(0) == ("T", (1,))
+
+    def test_counters(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        disk.read(pid)
+        disk.read(pid)
+        page = disk.read(pid)
+        disk.write(page)
+        assert disk.reads == 3
+        assert disk.writes == 1
+        disk.reset_stats()
+        assert disk.reads == 0 and disk.writes == 0
+
+    def test_read_returns_copy(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        page = disk.read(pid)
+        page.insert("T", (1,))
+        # Not written back: the next read must not see it.
+        assert disk.read(pid).read(0) is None
+
+
+class TestBufferPool:
+    def test_hit_miss_accounting(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=4)
+        pid = disk.allocate()
+        pool.fetch(pid)
+        pool.unpin(pid)
+        pool.fetch(pid)
+        pool.unpin(pid)
+        assert pool.misses == 1
+        assert pool.hits == 1
+
+    def test_lru_eviction(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        pids = [disk.allocate() for _ in range(3)]
+        for pid in pids:
+            pool.fetch(pid)
+            pool.unpin(pid)
+        assert pool.evictions == 1
+        # pids[0] was evicted; touching it again is a miss.
+        pool.fetch(pids[0])
+        pool.unpin(pids[0])
+        assert pool.misses == 4
+
+    def test_pinned_pages_not_evicted(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        p0 = disk.allocate()
+        p1 = disk.allocate()
+        p2 = disk.allocate()
+        pool.fetch(p0)  # stays pinned
+        pool.fetch(p1)
+        pool.unpin(p1)
+        pool.fetch(p2)  # must evict p1, not p0
+        page0 = pool._frames.get(p0)
+        assert page0 is not None
+
+    def test_all_pinned_raises(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=1)
+        p0 = disk.allocate()
+        p1 = disk.allocate()
+        pool.fetch(p0)
+        with pytest.raises(ExecutionError):
+            pool.fetch(p1)
+
+    def test_dirty_page_written_on_eviction(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=1)
+        p0 = disk.allocate()
+        page = pool.fetch(p0)
+        page.insert("T", (42,))
+        pool.unpin(p0, dirty=True)
+        p1 = disk.allocate()
+        pool.fetch(p1)
+        pool.unpin(p1)
+        assert disk.read(p0).read(0) == ("T", (42,))
+
+    def test_unpin_unpinned_raises(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=2)
+        pid = disk.allocate()
+        pool.fetch(pid)
+        pool.unpin(pid)
+        with pytest.raises(ExecutionError):
+            pool.unpin(pid)
+
+    def test_clear_simulates_cold_cache(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=8)
+        pid = disk.allocate()
+        page = pool.fetch(pid)
+        page.insert("T", (1,))
+        pool.unpin(pid, dirty=True)
+        pool.clear()
+        pool.reset_stats()
+        fetched = pool.fetch(pid)
+        assert pool.misses == 1
+        assert fetched.read(0) == ("T", (1,))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(DiskManager(), capacity=0)
+
+
+def make_heap(capacity=64, page_size=4096):
+    disk = DiskManager(page_size)
+    pool = BufferPool(disk, capacity)
+    return HeapFile("T", pool), pool
+
+
+class TestHeapFile:
+    def test_insert_fetch(self):
+        heap, _ = make_heap()
+        rid = heap.insert((1, "a"))
+        assert heap.fetch_row(rid) == (1, "a")
+
+    def test_scan_order(self):
+        heap, _ = make_heap()
+        rows = [(i, f"r{i}") for i in range(50)]
+        for row in rows:
+            heap.insert(row)
+        assert [row for _, row in heap.scan()] == rows
+
+    def test_spans_pages(self):
+        heap, _ = make_heap(page_size=128)
+        for i in range(100):
+            heap.insert((i, "payload-xxxx"))
+        assert heap.num_pages() > 1
+        assert heap.row_count == 100
+
+    def test_update(self):
+        heap, _ = make_heap()
+        rid = heap.insert((1, "a"))
+        heap.update(rid, (1, "b"))
+        assert heap.fetch_row(rid) == (1, "b")
+
+    def test_delete(self):
+        heap, _ = make_heap()
+        rid = heap.insert((1, "a"))
+        heap.delete(rid)
+        assert heap.row_count == 0
+        with pytest.raises(ExecutionError):
+            heap.fetch_row(rid)
+
+    def test_delete_missing_raises(self):
+        heap, _ = make_heap()
+        rid = heap.insert((1,))
+        heap.delete(rid)
+        with pytest.raises(ExecutionError):
+            heap.delete(rid)
+
+    def test_truncate(self):
+        heap, _ = make_heap()
+        for i in range(20):
+            heap.insert((i,))
+        heap.truncate()
+        assert heap.row_count == 0
+        assert list(heap.scan()) == []
+
+    def test_shared_page_scan_filters_by_table(self):
+        disk = DiskManager()
+        pool = BufferPool(disk, 16)
+        heap_a = HeapFile("A", pool)
+        heap_b = HeapFile("B", pool)
+        with CoCluster(pool) as cluster:
+            cluster.load_group([(heap_a, (1,)), (heap_b, (2,)), (heap_b, (3,))])
+        assert [row for _, row in heap_a.scan()] == [(1,)]
+        assert [row for _, row in heap_b.scan()] == [(2,), (3,)]
+
+
+class TestCoCluster:
+    def test_group_colocated_on_one_page(self):
+        disk = DiskManager(4096)
+        pool = BufferPool(disk, 16)
+        parent = HeapFile("P", pool)
+        child = HeapFile("C", pool)
+        with CoCluster(pool) as cluster:
+            rids = cluster.load_group(
+                [(parent, (1, "p")), (child, (1, 1)), (child, (1, 2))]
+            )
+        pages = {rid.page_id for rid in rids}
+        assert len(pages) == 1
+
+    def test_groups_pack_until_full(self):
+        disk = DiskManager(256)
+        pool = BufferPool(disk, 16)
+        parent = HeapFile("P", pool)
+        with CoCluster(pool) as cluster:
+            for i in range(30):
+                cluster.load_group([(parent, (i, "x" * 20))])
+        assert parent.num_pages() > 1
+        assert parent.row_count == 30
+
+    def test_clustered_read_touches_fewer_pages(self):
+        """The E4 effect in miniature: CO-clustered layout needs fewer
+        page fetches per composite object than table-clustered layout."""
+        page_size = 512
+        # Table-clustered: parents then children, separate page runs.
+        disk_t = DiskManager(page_size)
+        pool_t = BufferPool(disk_t, capacity=2)
+        parent_t = HeapFile("P", pool_t)
+        child_t = HeapFile("C", pool_t)
+        # CO-clustered: parent followed by its children.
+        disk_c = DiskManager(page_size)
+        pool_c = BufferPool(disk_c, capacity=2)
+        parent_c = HeapFile("P", pool_c)
+        child_c = HeapFile("C", pool_c)
+
+        groups = [
+            ((i, "parent-payload"), [(i, j, "child-payload") for j in range(5)])
+            for i in range(40)
+        ]
+        for parent_row, children in groups:
+            parent_t.insert(parent_row)
+        for _, children in groups:
+            for child_row in children:
+                child_t.insert(child_row)
+        with CoCluster(pool_c) as cluster:
+            for parent_row, children in groups:
+                cluster.load_group(
+                    [(parent_c, parent_row)] + [(child_c, c) for c in children]
+                )
+        for pool in (pool_t, pool_c):
+            pool.clear()
+            pool.reset_stats()
+
+        # Read each composite object: parent row + its children.
+        parent_rids_t = [rid for rid, _ in parent_t.scan()]
+        child_rids_t = {}
+        for rid, row in child_t.scan():
+            child_rids_t.setdefault(row[0], []).append(rid)
+        pool_t.clear()
+        pool_t.reset_stats()
+        for i, rid in enumerate(parent_rids_t):
+            parent_t.fetch_row(rid)
+            for crid in child_rids_t.get(i, []):
+                child_t.fetch_row(crid)
+        misses_table = pool_t.misses
+
+        parent_rids_c = [rid for rid, _ in parent_c.scan()]
+        child_rids_c = {}
+        for rid, row in child_c.scan():
+            child_rids_c.setdefault(row[0], []).append(rid)
+        pool_c.clear()
+        pool_c.reset_stats()
+        for i, rid in enumerate(parent_rids_c):
+            parent_c.fetch_row(rid)
+            for crid in child_rids_c.get(i, []):
+                child_c.fetch_row(crid)
+        misses_clustered = pool_c.misses
+
+        assert misses_clustered < misses_table

@@ -1,0 +1,195 @@
+"""Transactions: rollback, locks, isolation levels, WAL recovery."""
+
+import pytest
+
+from repro.errors import DeadlockError, TransactionError
+from repro.relational.engine import Database
+from repro.relational.txn.locks import LockManager, LockMode
+from repro.relational.txn.manager import IsolationLevel
+
+
+class TestRollback:
+    def test_rollback_insert(self, people_db):
+        people_db.execute("BEGIN")
+        people_db.execute("INSERT INTO PEOPLE VALUES (9, 'zed', 1, 'NY', 0.0)")
+        people_db.execute("ROLLBACK")
+        assert people_db.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 5
+
+    def test_rollback_delete(self, people_db):
+        people_db.execute("BEGIN")
+        people_db.execute("DELETE FROM PEOPLE WHERE city = 'NY'")
+        people_db.execute("ROLLBACK")
+        assert people_db.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 5
+        # index consistency after undo
+        assert people_db.execute("SELECT name FROM PEOPLE WHERE id = 1").scalar() == "ann"
+
+    def test_rollback_update(self, people_db):
+        people_db.execute("BEGIN")
+        people_db.execute("UPDATE PEOPLE SET age = 0")
+        people_db.execute("ROLLBACK")
+        assert people_db.execute(
+            "SELECT age FROM PEOPLE WHERE name = 'ann'"
+        ).scalar() == 30
+
+    def test_rollback_mixed_operations_in_order(self, people_db):
+        people_db.execute("BEGIN")
+        people_db.execute("INSERT INTO PEOPLE VALUES (9, 'zed', 1, 'NY', 0.0)")
+        people_db.execute("UPDATE PEOPLE SET age = age + 1 WHERE id = 9")
+        people_db.execute("DELETE FROM PEOPLE WHERE id = 9")
+        people_db.execute("ROLLBACK")
+        assert people_db.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 5
+
+    def test_commit_keeps_changes(self, people_db):
+        people_db.execute("BEGIN")
+        people_db.execute("DELETE FROM PEOPLE WHERE id = 1")
+        people_db.execute("COMMIT")
+        assert people_db.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 4
+
+    def test_nested_begin_rejected(self, people_db):
+        people_db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            people_db.execute("BEGIN")
+        people_db.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, people_db):
+        with pytest.raises(TransactionError):
+            people_db.execute("COMMIT")
+
+    def test_rollback_without_begin_rejected(self, people_db):
+        with pytest.raises(TransactionError):
+            people_db.execute("ROLLBACK")
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        locks = LockManager()
+        locks.acquire(1, "T", LockMode.SHARED)
+        locks.acquire(2, "T", LockMode.SHARED)
+
+    def test_exclusive_conflicts(self):
+        locks = LockManager()
+        locks.acquire(1, "T", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "T", LockMode.SHARED)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "T", LockMode.EXCLUSIVE)
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockManager()
+        locks.acquire(1, "T", LockMode.SHARED)
+        with pytest.raises(DeadlockError):
+            locks.acquire(2, "T", LockMode.EXCLUSIVE)
+
+    def test_upgrade_own_lock(self):
+        locks = LockManager()
+        locks.acquire(1, "T", LockMode.SHARED)
+        locks.acquire(1, "T", LockMode.EXCLUSIVE)
+        assert ("T", LockMode.EXCLUSIVE) in locks.held(1)
+
+    def test_release_all(self):
+        locks = LockManager()
+        locks.acquire(1, "A", LockMode.SHARED)
+        locks.acquire(1, "B", LockMode.EXCLUSIVE)
+        locks.release_all(1)
+        assert locks.held(1) == set()
+        locks.acquire(2, "B", LockMode.EXCLUSIVE)
+
+    def test_release_shared_keeps_exclusive(self):
+        locks = LockManager()
+        locks.acquire(1, "A", LockMode.SHARED)
+        locks.acquire(1, "B", LockMode.EXCLUSIVE)
+        locks.release_shared(1)
+        assert locks.held(1) == {("B", LockMode.EXCLUSIVE)}
+
+
+class TestIsolationLevels:
+    def test_repeatable_read_holds_read_locks(self, people_db):
+        people_db.isolation = IsolationLevel.REPEATABLE_READ
+        people_db.execute("BEGIN")
+        people_db.execute("SELECT * FROM PEOPLE")
+        txn_id = people_db._txn.txn_id
+        held = people_db.txn_manager.locks.held(txn_id)
+        assert ("PEOPLE", LockMode.SHARED) in held
+        people_db.execute("COMMIT")
+
+    def test_cursor_stability_releases_read_locks(self, people_db):
+        people_db.execute("BEGIN")
+        people_db._txn.isolation = IsolationLevel.CURSOR_STABILITY
+        people_db.execute("SELECT * FROM PEOPLE")
+        txn_id = people_db._txn.txn_id
+        assert people_db.txn_manager.locks.held(txn_id) == set()
+        people_db.execute("COMMIT")
+
+    def test_write_locks_held_until_commit_either_way(self, people_db):
+        people_db.execute("BEGIN")
+        people_db._txn.isolation = IsolationLevel.CURSOR_STABILITY
+        people_db.execute("DELETE FROM PEOPLE WHERE id = 1")
+        txn_id = people_db._txn.txn_id
+        held = people_db.txn_manager.locks.held(txn_id)
+        assert ("PEOPLE", LockMode.EXCLUSIVE) in held
+        people_db.execute("COMMIT")
+        assert people_db.txn_manager.locks.held(txn_id) == set()
+
+
+class TestRecovery:
+    def _schema(self, database):
+        database.execute(
+            "CREATE TABLE T (a INTEGER PRIMARY KEY, b VARCHAR)"
+        )
+
+    def test_replay_committed_work(self):
+        primary = Database()
+        self._schema(primary)
+        primary.execute("INSERT INTO T VALUES (1, 'x'), (2, 'y')")
+        primary.execute("BEGIN")
+        primary.execute("UPDATE T SET b = 'z' WHERE a = 1")
+        primary.execute("COMMIT")
+        primary.execute("BEGIN")
+        primary.execute("DELETE FROM T WHERE a = 2")
+        primary.execute("COMMIT")
+
+        # crash: fresh database with the same schema, replay the WAL
+        replica = Database()
+        self._schema(replica)
+        applied = primary.txn_manager.recover_into(replica)
+        assert applied > 0
+        assert replica.execute("SELECT * FROM T ORDER BY a").rows == [(1, "z")]
+
+    def test_uncommitted_work_not_replayed(self):
+        primary = Database()
+        self._schema(primary)
+        primary.execute("INSERT INTO T VALUES (1, 'x')")
+        primary.execute("BEGIN")
+        primary.execute("INSERT INTO T VALUES (2, 'y')")
+        # no COMMIT: crash now
+        replica = Database()
+        self._schema(replica)
+        primary.txn_manager.recover_into(replica)
+        assert replica.execute("SELECT * FROM T").rows == [(1, "x")]
+
+    def test_autocommit_statements_are_durable(self):
+        primary = Database()
+        self._schema(primary)
+        primary.execute("INSERT INTO T VALUES (1, 'x')")
+        primary.execute("UPDATE T SET b = 'q' WHERE a = 1")
+        replica = Database()
+        self._schema(replica)
+        primary.txn_manager.recover_into(replica)
+        assert replica.execute("SELECT b FROM T").scalar() == "q"
+
+    def test_replay_is_idempotent_on_fresh_copy(self):
+        primary = Database()
+        self._schema(primary)
+        primary.execute("INSERT INTO T VALUES (1, 'x')")
+        for _ in range(2):
+            replica = Database()
+            self._schema(replica)
+            primary.txn_manager.recover_into(replica)
+            assert replica.execute("SELECT COUNT(*) FROM T").scalar() == 1
+
+    def test_wal_records_have_increasing_lsns(self, people_db):
+        people_db.execute("INSERT INTO PEOPLE VALUES (9, 'z', 1, 'NY', 0.0)")
+        people_db.execute("DELETE FROM PEOPLE WHERE id = 9")
+        lsns = [r.lsn for r in people_db.txn_manager.wal.records]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == len(lsns)

@@ -1,0 +1,210 @@
+"""Types and three-valued logic: the foundation of SQL semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ExecutionError, TypeCheckError
+from repro.relational.types import (
+    BOOLEAN,
+    FLOAT,
+    INTEGER,
+    VARCHAR,
+    sort_key,
+    sql_arith,
+    sql_compare,
+    sql_like,
+    tv_and,
+    tv_not,
+    tv_or,
+    type_from_name,
+)
+
+TRUTH = [True, False, None]
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert tv_and(True, True) is True
+        assert tv_and(True, False) is False
+        assert tv_and(False, False) is False
+        assert tv_and(True, None) is None
+        assert tv_and(None, None) is None
+
+    def test_and_false_dominates_unknown(self):
+        assert tv_and(False, None) is False
+        assert tv_and(None, False) is False
+
+    def test_or_truth_table(self):
+        assert tv_or(False, False) is False
+        assert tv_or(True, False) is True
+        assert tv_or(False, None) is None
+        assert tv_or(None, None) is None
+
+    def test_or_true_dominates_unknown(self):
+        assert tv_or(True, None) is True
+        assert tv_or(None, True) is True
+
+    def test_not(self):
+        assert tv_not(True) is False
+        assert tv_not(False) is True
+        assert tv_not(None) is None
+
+    @given(st.sampled_from(TRUTH), st.sampled_from(TRUTH))
+    def test_and_commutative(self, a, b):
+        assert tv_and(a, b) == tv_and(b, a)
+
+    @given(st.sampled_from(TRUTH), st.sampled_from(TRUTH))
+    def test_or_commutative(self, a, b):
+        assert tv_or(a, b) == tv_or(b, a)
+
+    @given(st.sampled_from(TRUTH), st.sampled_from(TRUTH))
+    def test_de_morgan(self, a, b):
+        assert tv_not(tv_and(a, b)) == tv_or(tv_not(a), tv_not(b))
+
+    @given(
+        st.sampled_from(TRUTH), st.sampled_from(TRUTH), st.sampled_from(TRUTH)
+    )
+    def test_and_associative(self, a, b, c):
+        assert tv_and(tv_and(a, b), c) == tv_and(a, tv_and(b, c))
+
+
+class TestComparison:
+    def test_null_propagates(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert sql_compare(op, None, 1) is None
+            assert sql_compare(op, 1, None) is None
+            assert sql_compare(op, None, None) is None
+
+    def test_numeric(self):
+        assert sql_compare("=", 1, 1.0) is True
+        assert sql_compare("<", 1, 2) is True
+        assert sql_compare(">=", 2.5, 2.5) is True
+        assert sql_compare("<>", 1, 2) is True
+
+    def test_strings(self):
+        assert sql_compare("<", "abc", "abd") is True
+        assert sql_compare("=", "x", "x") is True
+
+    def test_mixed_domains_raise(self):
+        with pytest.raises(TypeCheckError):
+            sql_compare("=", 1, "1")
+
+    @given(st.integers(), st.integers())
+    def test_trichotomy(self, a, b):
+        results = [
+            sql_compare("<", a, b),
+            sql_compare("=", a, b),
+            sql_compare(">", a, b),
+        ]
+        assert results.count(True) == 1
+
+
+class TestArithmetic:
+    def test_null_propagates(self):
+        for op in ("+", "-", "*", "/", "%"):
+            assert sql_arith(op, None, 2) is None
+            assert sql_arith(op, 2, None) is None
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert sql_arith("/", 7, 2) == 3
+        assert sql_arith("/", -7, 2) == -3
+        assert sql_arith("/", 7, -2) == -3
+
+    def test_float_division(self):
+        assert sql_arith("/", 7.0, 2) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExecutionError):
+            sql_arith("/", 1, 0)
+        with pytest.raises(ExecutionError):
+            sql_arith("/", 1.0, 0.0)
+        with pytest.raises(ExecutionError):
+            sql_arith("%", 5, 0)
+
+    def test_concat(self):
+        assert sql_arith("||", "a", "b") == "ab"
+        assert sql_arith("||", "a", 1) == "a1"
+        assert sql_arith("||", None, "b") is None
+
+    def test_string_plus_rejected(self):
+        with pytest.raises(TypeCheckError):
+            sql_arith("*", "a", "b")
+
+
+class TestLike:
+    def test_percent(self):
+        assert sql_like("hello", "h%") is True
+        assert sql_like("hello", "%llo") is True
+        assert sql_like("hello", "%ell%") is True
+        assert sql_like("hello", "x%") is False
+
+    def test_underscore(self):
+        assert sql_like("cat", "c_t") is True
+        assert sql_like("cart", "c_t") is False
+
+    def test_null(self):
+        assert sql_like(None, "%") is None
+        assert sql_like("x", None) is None
+
+    def test_regex_chars_are_literal(self):
+        assert sql_like("a.b", "a.b") is True
+        assert sql_like("axb", "a.b") is False
+
+
+class TestTypeObjects:
+    def test_integer_validation(self):
+        assert INTEGER.validate(5) == 5
+        assert INTEGER.validate(5.0) == 5
+        assert INTEGER.validate(None) is None
+        assert INTEGER.validate(True) == 1
+        with pytest.raises(TypeCheckError):
+            INTEGER.validate("5")
+        with pytest.raises(TypeCheckError):
+            INTEGER.validate(5.5)
+
+    def test_float_validation(self):
+        assert FLOAT.validate(5) == 5.0
+        assert isinstance(FLOAT.validate(5), float)
+        with pytest.raises(TypeCheckError):
+            FLOAT.validate("x")
+
+    def test_varchar_validation(self):
+        vc = VARCHAR(10)
+        assert vc.validate("hello") == "hello"
+        with pytest.raises(TypeCheckError):
+            vc.validate(5)
+
+    def test_boolean_validation(self):
+        assert BOOLEAN.validate(True) is True
+        assert BOOLEAN.validate(1) is True
+        assert BOOLEAN.validate(0) is False
+        with pytest.raises(TypeCheckError):
+            BOOLEAN.validate("true")
+
+    def test_type_from_name_aliases(self):
+        assert type_from_name("INT").name == "INTEGER"
+        assert type_from_name("bigint").name == "INTEGER"
+        assert type_from_name("REAL").name == "FLOAT"
+        assert type_from_name("TEXT").name == "VARCHAR"
+        assert type_from_name("BOOL").name == "BOOLEAN"
+        assert type_from_name("VARCHAR", 30).size == 30
+        with pytest.raises(TypeCheckError):
+            type_from_name("BLOB")
+
+
+class TestSortKey:
+    def test_nulls_first(self):
+        values = [3, None, 1, None, 2]
+        assert sorted(values, key=sort_key) == [None, None, 1, 2, 3]
+
+    def test_mixed_numeric(self):
+        values = [2.5, 1, 3]
+        assert sorted(values, key=sort_key) == [1, 2.5, 3]
+
+    def test_strings_after_numbers(self):
+        values = ["b", 1, "a", 2]
+        assert sorted(values, key=sort_key) == [1, 2, "a", "b"]
+
+    @given(st.lists(st.one_of(st.none(), st.integers(), st.floats(allow_nan=False))))
+    def test_total_order(self, values):
+        sorted(values, key=sort_key)  # must not raise

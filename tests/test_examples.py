@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_output_mentions_propagation():
+    script = pathlib.Path(__file__).parent.parent / "examples" / "quickstart.py"
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=240
+    )
+    assert "base table says: 200.0" in result.stdout
+
+
+def test_company_org_reproduces_figure5():
+    script = pathlib.Path(__file__).parent.parent / "examples" / "company_org.py"
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True, timeout=240
+    )
+    assert "p1 dropped" in result.stdout
+    assert "['p2', 'p3', 'p4']" in result.stdout

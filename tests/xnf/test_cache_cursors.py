@@ -1,0 +1,196 @@
+"""The CO cache (pointer structures, stream loading) and cursors."""
+
+import pytest
+
+from repro.errors import CursorError, XNFError
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+from repro.xnf.semantic_rewrite import XNFCompiler
+from repro.xnf.stream import ConnectionItem, SchemaItem, TupleItem, heterogeneous_stream
+from repro.xnf.cache import COCache
+from repro.xnf.lang.parser import parse_xnf
+from repro.xnf.views import XNFViewCatalog, resolve
+
+
+@pytest.fixture
+def fig1_co(company_db):
+    return XNFSession(company_db).query(company.FIGURE1_CO)
+
+
+class TestStream:
+    def test_schema_items_first(self, company_db):
+        schema = resolve(parse_xnf(company.FIGURE1_CO), XNFViewCatalog())
+        instance = XNFCompiler(company_db).instantiate(schema)
+        items = list(heterogeneous_stream(instance))
+        headers = [i for i in items if isinstance(i, SchemaItem)]
+        assert items[: len(headers)] == headers
+        assert {h.component for h in headers if h.kind == "node"} == set(
+            schema.nodes
+        )
+
+    def test_parents_stream_before_children(self, company_db):
+        schema = resolve(parse_xnf(company.FIGURE1_CO), XNFViewCatalog())
+        instance = XNFCompiler(company_db).instantiate(schema)
+        seen_nodes = []
+        for item in heterogeneous_stream(instance):
+            if isinstance(item, TupleItem) and item.component not in seen_nodes:
+                seen_nodes.append(item.component)
+        assert seen_nodes.index("Xdept") < seen_nodes.index("Xemp")
+        assert seen_nodes.index("Xemp") < seen_nodes.index("Xskill")
+
+    def test_connections_follow_their_endpoint_tuples(self, company_db):
+        schema = resolve(parse_xnf(company.FIGURE1_CO), XNFViewCatalog())
+        instance = XNFCompiler(company_db).instantiate(schema)
+        emitted = set()
+        for item in heterogeneous_stream(instance):
+            if isinstance(item, TupleItem):
+                emitted.add((item.component, item.row))
+            elif isinstance(item, ConnectionItem):
+                edge = schema.edges[item.component]
+                assert (edge.parent, item.parent_row) in emitted
+                assert (edge.child, item.child_row) in emitted
+
+    def test_stream_rebuilds_identical_cache(self, company_db):
+        schema = resolve(parse_xnf(company.FIGURE1_CO), XNFViewCatalog())
+        instance = XNFCompiler(company_db).instantiate(schema)
+        cache_a = COCache.load(instance)
+        cache_b = COCache.load(instance)
+        for node in cache_a.node_names():
+            assert [t.values() for t in cache_a.node(node)] == [
+                t.values() for t in cache_b.node(node)
+            ]
+
+
+class TestCacheAccess:
+    def test_column_access_by_name(self, fig1_co):
+        d1 = fig1_co.find("Xdept", dname="d1")
+        assert d1["dno"] == 1
+        assert d1["loc"] == "NY"
+        assert d1.get("nothere", "default") == "default"
+
+    def test_case_insensitive_columns(self, fig1_co):
+        d1 = fig1_co.find("Xdept", dname="d1")
+        assert d1["DNO"] == 1
+
+    def test_unknown_column_raises(self, fig1_co):
+        d1 = fig1_co.find("Xdept", dname="d1")
+        with pytest.raises(XNFError):
+            d1["missing"]
+
+    def test_as_dict(self, fig1_co):
+        d1 = fig1_co.find("Xdept", dname="d1")
+        assert d1.as_dict()["dname"] == "d1"
+
+    def test_find_all(self, fig1_co):
+        ny = fig1_co.find_all("Xdept", loc="NY")
+        assert sorted(t["dname"] for t in ny) == ["d1", "d3"]
+
+    def test_unknown_node_raises(self, fig1_co):
+        with pytest.raises(XNFError):
+            fig1_co.node("Nope")
+
+    def test_navigation_counter(self, fig1_co):
+        before = fig1_co.cache.navigations
+        d1 = fig1_co.find("Xdept", dname="d1")
+        d1.related("employment")
+        assert fig1_co.cache.navigations == before + 1
+
+    def test_related_rejects_wrong_edge(self, fig1_co):
+        s3 = fig1_co.find("Xskill", sname="s3")
+        with pytest.raises(XNFError):
+            s3.related("employment")
+
+    def test_connections_listing(self, fig1_co):
+        e2 = fig1_co.find("Xemp", ename="e2")
+        conns = e2.connections("empproperty")
+        assert len(conns) == 1
+        assert conns[0].child["sname"] == "s3"
+
+    def test_summary(self, fig1_co):
+        text = fig1_co.summary()
+        assert "Xdept: 3 tuples" in text
+        assert "employment: 5 connections" in text
+
+
+class TestIndependentCursor:
+    def test_iteration(self, fig1_co):
+        names = [t["dname"] for t in fig1_co.cursor("Xdept")]
+        assert names == ["d1", "d2", "d3"]
+
+    def test_fetch_protocol(self, fig1_co):
+        cursor = fig1_co.cursor("Xdept")
+        assert cursor.fetch()["dname"] == "d1"
+        assert cursor.current["dname"] == "d1"
+        assert cursor.fetch()["dname"] == "d2"
+        cursor.rewind()
+        assert cursor.fetch()["dname"] == "d1"
+
+    def test_exhaustion_returns_none(self, fig1_co):
+        cursor = fig1_co.cursor("Xdept")
+        for _ in range(3):
+            assert cursor.fetch() is not None
+        assert cursor.fetch() is None
+        assert cursor.fetch() is None
+
+    def test_closed_cursor_raises(self, fig1_co):
+        cursor = fig1_co.cursor("Xdept")
+        cursor.close()
+        with pytest.raises(CursorError):
+            cursor.fetch()
+
+    def test_context_manager(self, fig1_co):
+        with fig1_co.cache.cursor("Xdept") as cursor:
+            assert cursor.fetch() is not None
+        with pytest.raises(CursorError):
+            cursor.fetch()
+
+    def test_unknown_node(self, fig1_co):
+        with pytest.raises(CursorError):
+            fig1_co.cursor("Nope")
+
+    def test_skips_dead_tuples(self, fig1_co):
+        d2 = fig1_co.find("Xdept", dname="d2")
+        fig1_co.cache.remove_tuple(d2)
+        names = [t["dname"] for t in fig1_co.cursor("Xdept")]
+        assert names == ["d1", "d3"]
+
+
+class TestDependentCursor:
+    def test_follows_parent_position(self, fig1_co):
+        parent = fig1_co.cursor("Xdept")
+        parent.fetch()  # d1
+        child = fig1_co.dependent_cursor(parent, "employment")
+        assert sorted(t["ename"] for t in child) == ["e1", "e2"]
+        parent.fetch()  # d2
+        child.refresh()
+        assert sorted(t["ename"] for t in child) == ["e4", "e5", "e6"]
+
+    def test_multi_step_path(self, fig1_co):
+        parent = fig1_co.cursor("Xdept")
+        parent.fetch()  # d1
+        skills = fig1_co.dependent_cursor(parent, "employment->empproperty")
+        assert sorted(t["sname"] for t in skills) == ["s1", "s3"]
+
+    def test_qualified_path_step(self, fig1_co):
+        parent = fig1_co.cursor("Xdept")
+        parent.fetch()  # d1
+        rich = fig1_co.dependent_cursor(
+            parent, "employment->(Xemp e WHERE e.sal > 150)"
+        )
+        assert [t["ename"] for t in rich] == ["e2"]
+
+    def test_unpositioned_parent_raises(self, fig1_co):
+        parent = fig1_co.cursor("Xdept")
+        parent.rewind()
+        with pytest.raises(CursorError):
+            fig1_co.dependent_cursor(parent, "employment")
+
+    def test_paper_example_aDept_anEmpOfDept(self, fig4_session):
+        """Section 3.7's aDept / anEmpOfDept scenario."""
+        co = fig4_session.query("OUT OF ALL-DEPS-ORG TAKE *")
+        a_dept = co.cursor("Xdept")
+        dept = a_dept.fetch()
+        an_emp_of_dept = co.dependent_cursor(a_dept, "employment")
+        emps = [e["ename"] for e in an_emp_of_dept]
+        expected = [e["ename"] for e in dept.related("employment")]
+        assert emps == expected

@@ -1,0 +1,242 @@
+"""Reproduction of the paper's figures 1–6 (experiments F1–F6).
+
+Each test encodes the exact instance-level outcome the paper describes, on
+the exact schema/queries of the running example.
+"""
+
+import pytest
+
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+from repro.xnf.closure import QueryClass
+
+
+class TestFigure1:
+    """'Company Organizational Unit': reachability and instance sharing."""
+
+    @pytest.fixture
+    def co(self, company_db):
+        session = XNFSession(company_db)
+        return session.query(company.FIGURE1_CO)
+
+    def test_unemployed_e3_excluded(self, co):
+        assert sorted(t["ename"] for t in co.node("Xemp")) == [
+            "e1", "e2", "e4", "e5", "e6",
+        ]
+
+    def test_unattached_s2_excluded(self, co):
+        assert sorted(t["sname"] for t in co.node("Xskill")) == [
+            "s1", "s3", "s4", "s5",
+        ]
+
+    def test_root_d3_included_without_connections(self, co):
+        d3 = co.find("Xdept", dname="d3")
+        assert d3 is not None
+        assert d3.related("employment") == []
+
+    def test_connection_counts(self, co):
+        assert len(co.connections("employment")) == 5
+        assert len(co.connections("ownership")) == 2
+        assert len(co.connections("empproperty")) == 4
+        assert len(co.connections("projproperty")) == 2
+
+    def test_instance_sharing_on_s3(self, co):
+        """Skill s3 is shared by employees e2 and e4 and by project p1."""
+        s3 = co.find("Xskill", sname="s3")
+        assert sorted(t["ename"] for t in s3.related("empproperty")) == ["e2", "e4"]
+        assert [t["pname"] for t in s3.related("projproperty")] == ["p1"]
+
+    def test_schema_sharing_detected(self, co):
+        assert co.schema.shared_nodes() == ["Xskill"]
+        assert not co.schema.is_recursive()
+        assert co.schema.roots() == ["Xdept"]
+
+    def test_relationships_traverse_both_directions(self, co):
+        e2 = co.find("Xemp", ename="e2")
+        d1 = e2.related("employment")[0]
+        assert d1["dname"] == "d1"
+        assert e2 in d1.related("employment")
+
+
+class TestFigure2:
+    """Same EMPLOYMENT abstraction over two database representations."""
+
+    def test_implicit_fk_representation(self, company_db):
+        session = XNFSession(company_db)
+        co = session.query(
+            """
+            OUT OF Xdept AS DEPT, Xemp AS EMP,
+              employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+            TAKE *
+            """
+        )
+        d1 = co.find("Xdept", dname="d1")
+        assert sorted(t["ename"] for t in d1.related("employment")) == ["e1", "e2"]
+
+    def test_explicit_table_representation(self):
+        db = company.cdb2_database()
+        session = XNFSession(db)
+        co = session.query(
+            """
+            OUT OF Xdept AS DEPT, Xemp AS EMP,
+              employment AS (RELATE Xdept, Xemp USING DEPTEMP de
+                             WHERE Xdept.dno = de.dedno AND Xemp.eno = de.deeno)
+            TAKE *
+            """
+        )
+        d1 = co.find("Xdept", dname="d1")
+        assert sorted(t["ename"] for t in d1.related("employment")) == ["e1", "e2"]
+        # e3 is in no DEPTEMP row: unreachable, exactly like CDB1
+        assert co.find("Xemp", ename="e3") is None
+
+    def test_both_representations_agree(self, company_db):
+        cdb1 = XNFSession(company_db).query(
+            """
+            OUT OF Xdept AS DEPT, Xemp AS EMP,
+              employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+            TAKE *
+            """
+        )
+        cdb2 = XNFSession(company.cdb2_database()).query(
+            """
+            OUT OF Xdept AS DEPT, Xemp AS EMP,
+              employment AS (RELATE Xdept, Xemp USING DEPTEMP de
+                             WHERE Xdept.dno = de.dedno AND Xemp.eno = de.deeno)
+            TAKE *
+            """
+        )
+        pairs1 = sorted(
+            (c.parent["dname"], c.child["ename"])
+            for c in cdb1.connections("employment")
+        )
+        pairs2 = sorted(
+            (c.parent["dname"], c.child["ename"])
+            for c in cdb2.connections("employment")
+        )
+        assert pairs1 == pairs2
+
+
+class TestFigure3:
+    """ALL-DEPS-ORG: views over views, relationship attributes, new
+    reachability through the added 'membership' relationship."""
+
+    def test_membership_attribute(self, fig4_session):
+        co = fig4_session.query("OUT OF ALL-DEPS-ORG TAKE *")
+        conns = co.connections("membership")
+        attrs = sorted(
+            (c.parent["pname"], c.child["ename"], c["percentage"]) for c in conns
+        )
+        assert attrs == [("p2", "e3", 50.0), ("p2", "e4", 25.0), ("p4", "e4", 100.0)]
+
+    def test_view_layering(self, fig4_session):
+        base = fig4_session.query("OUT OF ALL-DEPS TAKE *")
+        layered = fig4_session.query("OUT OF ALL-DEPS-ORG TAKE *")
+        assert set(base.edges()) == {"employment", "ownership"}
+        assert set(layered.edges()) == {"employment", "ownership", "membership"}
+
+
+class TestFigure4:
+    """EXT-ALL-DEPS-ORG is structurally recursive."""
+
+    def test_cycle_detected(self, fig4_session):
+        co = fig4_session.query("OUT OF EXT-ALL-DEPS-ORG TAKE *")
+        assert co.schema.is_recursive()
+
+    def test_projmanagement_edges(self, fig4_session):
+        co = fig4_session.query("OUT OF EXT-ALL-DEPS-ORG TAKE *")
+        pairs = sorted(
+            (c.parent["ename"], c.child["pname"])
+            for c in co.connections("projmanagement")
+        )
+        assert pairs == [("e1", "p2"), ("e2", "p3"), ("e3", "p4")]
+
+    def test_fixpoint_converges(self, fig4_session):
+        fig4_session.query("OUT OF EXT-ALL-DEPS-ORG TAKE *")
+        assert fig4_session.last_stats.iterations >= 2
+
+
+class TestFigure5:
+    """Restriction + projection on the recursive CO, Fig. 5's exact result."""
+
+    @pytest.fixture
+    def restricted(self, fig4_session):
+        return fig4_session.query(
+            """
+            OUT OF EXT-ALL-DEPS-ORG
+            WHERE Xdept SUCH THAT loc = 'NY'
+            TAKE Xdept(*), employment, Xemp(*), projmanagement,
+                 membership, Xproj(*)
+            """
+        )
+
+    def test_only_ny_department(self, restricted):
+        assert [t["dname"] for t in restricted.node("Xdept")] == ["dNY"]
+
+    def test_transitively_reached_employees(self, restricted):
+        # e1, e2 directly; e3, e4 via membership on reachable projects
+        assert sorted(t["ename"] for t in restricted.node("Xemp")) == [
+            "e1", "e2", "e3", "e4",
+        ]
+
+    def test_p1_unreachable_after_projection(self, restricted):
+        """'Project p1 is not in the result since it is not reachable
+        anymore' — ownership was projected away."""
+        assert sorted(t["pname"] for t in restricted.node("Xproj")) == [
+            "p2", "p3", "p4",
+        ]
+
+    def test_ownership_edge_gone(self, restricted):
+        assert "ownership" not in restricted.edges()
+
+    def test_p1_reachable_when_ownership_kept(self, fig4_session):
+        full = fig4_session.query(
+            "OUT OF EXT-ALL-DEPS-ORG WHERE Xdept SUCH THAT loc = 'SF' TAKE *"
+        )
+        assert "p1" in [t["pname"] for t in full.node("Xproj")]
+
+
+class TestFigure6:
+    """The four query classes, all executed."""
+
+    def test_type1_nf_to_xnf(self, fig4_session):
+        query = """
+        OUT OF Xdept AS DEPT, Xemp AS EMP,
+          employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+        TAKE *
+        """
+        assert fig4_session.classify(query) == QueryClass.NF_TO_XNF
+        co = fig4_session.query(query)
+        assert co.cache.total_tuples() > 0
+
+    def test_type2_xnf_to_xnf(self, fig4_session):
+        query = "OUT OF ALL-DEPS WHERE Xemp e SUCH THAT e.sal > 150 TAKE *"
+        assert fig4_session.classify(query) == QueryClass.XNF_TO_XNF
+        co = fig4_session.query(query)
+        assert sorted(t["ename"] for t in co.node("Xemp")) == ["e2", "e3", "e4"]
+
+    def test_type3_xnf_to_nf(self, fig4_session, fig4_db):
+        co = fig4_session.query("OUT OF ALL-DEPS TAKE *")
+        table = co.to_table("Xemp", "CO_EMPS")
+        result = fig4_db.execute(
+            "SELECT COUNT(*) FROM CO_EMPS WHERE sal > 150"
+        )
+        assert result.scalar() == 3
+
+    def test_type4_nf_to_nf(self, fig4_session, fig4_db):
+        sql = "SELECT COUNT(*) FROM EMP"
+        assert fig4_session.classify(sql) == QueryClass.NF_TO_NF
+        assert fig4_db.execute(sql).scalar() == 4
+
+    def test_closure_roundtrip(self, fig4_session, fig4_db):
+        """XNF result -> table -> XNF again (closure under operations)."""
+        co = fig4_session.query("OUT OF ALL-DEPS TAKE *")
+        co.to_table("Xemp", "EMP_SNAPSHOT")
+        again = fig4_session.query(
+            """
+            OUT OF Xdept AS DEPT,
+              Xsnap AS EMP_SNAPSHOT,
+              employment AS (RELATE Xdept, Xsnap WHERE Xdept.dno = Xsnap.edno)
+            TAKE *
+            """
+        )
+        assert len(again.node("Xsnap")) == 4

@@ -1,0 +1,199 @@
+"""XNF language parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational.sql import ast as sql_ast
+from repro.xnf.lang import xast
+from repro.xnf.lang.parser import parse_xnf, parse_xnf_statements
+
+
+class TestComponents:
+    def test_node_table_shorthand(self):
+        query = parse_xnf("OUT OF Xemp AS EMP TAKE *")
+        node = query.components[0]
+        assert isinstance(node, xast.NodeDef)
+        assert node.table == "EMP" and node.query is None
+
+    def test_node_query(self):
+        query = parse_xnf(
+            "OUT OF Xdept AS (SELECT * FROM DEPT WHERE loc = 'NY') TAKE *"
+        )
+        node = query.components[0]
+        assert node.query is not None
+
+    def test_view_reference(self):
+        query = parse_xnf("OUT OF ALL-DEPS TAKE *")
+        assert isinstance(query.components[0], xast.ViewRef)
+        assert query.components[0].name == "ALL-DEPS"
+
+    def test_relate_basic(self):
+        query = parse_xnf(
+            "OUT OF a AS T, b AS U, "
+            "r AS (RELATE a, b WHERE a.x = b.y) TAKE *"
+        )
+        rel = query.components[2]
+        assert isinstance(rel, xast.RelationshipDef)
+        assert rel.parent == "a" and rel.child == "b"
+        assert rel.predicate is not None
+
+    def test_relate_with_attributes_and_using(self):
+        query = parse_xnf(
+            "OUT OF a AS T, b AS U, r AS (RELATE a, b "
+            "WITH ATTRIBUTES ep.pct, ep.x + 1 AS bump "
+            "USING EMPPROJ ep WHERE a.i = ep.j AND b.k = ep.l) TAKE *"
+        )
+        rel = query.components[2]
+        assert [name for name, _ in rel.attributes] == ["pct", "bump"]
+        assert rel.using[0].table == "EMPPROJ" and rel.using[0].alias == "ep"
+
+    def test_relate_roles_for_cyclic(self):
+        query = parse_xnf(
+            "OUT OF e AS EMP, manages AS (RELATE e manager, e report "
+            "WHERE manager.eno = report.mgrno) TAKE *"
+        )
+        rel = query.components[1]
+        assert rel.parent_role == "manager" and rel.child_role == "report"
+
+    def test_attribute_without_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_xnf(
+                "OUT OF a AS T, b AS U, r AS (RELATE a, b "
+                "WITH ATTRIBUTES x + 1 USING L l WHERE a.i = l.j) TAKE *"
+            )
+
+
+class TestRestrictions:
+    def test_node_restriction_with_alias(self):
+        query = parse_xnf("OUT OF V WHERE Xemp e SUCH THAT e.sal < 2 TAKE *")
+        restriction = query.restrictions[0]
+        assert isinstance(restriction, xast.NodeRestriction)
+        assert restriction.alias == "e"
+
+    def test_node_restriction_bare(self):
+        query = parse_xnf("OUT OF V WHERE Xdept SUCH THAT loc = 'NY' TAKE *")
+        assert query.restrictions[0].alias is None
+
+    def test_edge_restriction(self):
+        query = parse_xnf(
+            "OUT OF V WHERE employment (d, e) SUCH THAT e.sal < d.b / 100 TAKE *"
+        )
+        restriction = query.restrictions[0]
+        assert isinstance(restriction, xast.EdgeRestriction)
+        assert (restriction.parent_alias, restriction.child_alias) == ("d", "e")
+
+    def test_multiple_restrictions_split_on_and(self):
+        query = parse_xnf(
+            "OUT OF V WHERE Xdept SUCH THAT loc = 'NY' AND budget > 5 "
+            "AND Xemp e SUCH THAT e.sal > 1 TAKE *"
+        )
+        assert len(query.restrictions) == 2
+        # the first restriction keeps its own AND conjunct
+        assert isinstance(query.restrictions[0].predicate, sql_ast.BinaryOp)
+
+    def test_or_stays_within_one_restriction(self):
+        query = parse_xnf(
+            "OUT OF V WHERE Xdept SUCH THAT loc = 'NY' OR loc = 'SF' TAKE *"
+        )
+        assert len(query.restrictions) == 1
+        assert query.restrictions[0].predicate.op == "OR"
+
+
+class TestPathExpressions:
+    def parse_pred(self, text):
+        return parse_xnf(f"OUT OF V WHERE Xdept d SUCH THAT {text} TAKE *").restrictions[0].predicate
+
+    def test_count_path(self):
+        pred = self.parse_pred("COUNT(d->employment->projmanagement) > 2")
+        count = pred.left
+        assert isinstance(count.args[0], xast.PathExpr)
+        assert count.args[0].start == "d"
+        assert [s.name for s in count.args[0].steps] == [
+            "employment", "projmanagement",
+        ]
+
+    def test_exists_path(self):
+        pred = self.parse_pred("EXISTS d->employment->Xemp")
+        assert pred.name == "EXISTS"
+        assert isinstance(pred.args[0], xast.PathExpr)
+
+    def test_qualified_step(self):
+        pred = self.parse_pred(
+            "EXISTS d->employment->(Xemp e WHERE e.sal < 2)->projmanagement"
+        )
+        steps = pred.args[0].steps
+        assert steps[1].alias == "e"
+        assert steps[1].predicate is not None
+
+    def test_role_qualified_step(self):
+        pred = self.parse_pred("COUNT(d->manages[report]) > 0")
+        assert pred.left.args[0].steps[0].role == "report"
+
+    def test_node_name_path_start(self):
+        pred = self.parse_pred("COUNT(Xdept->employment) > 0")
+        assert pred.left.args[0].start == "Xdept"
+
+    def test_path_to_sql_roundtrip(self):
+        pred = self.parse_pred(
+            "EXISTS d->employment->(Xemp e WHERE e.a = 1)->projmanagement"
+        )
+        text = pred.to_sql()
+        assert "->" in text and "WHERE" in text
+
+
+class TestTakeClause:
+    def test_take_star(self):
+        query = parse_xnf("OUT OF V TAKE *")
+        assert isinstance(query.take, xast.TakeAll)
+
+    def test_take_items(self):
+        query = parse_xnf("OUT OF V TAKE Xdept(*), Xemp(eno, ename), employment")
+        items = query.take
+        assert items[0].columns == ["*"]
+        assert items[1].columns == ["eno", "ename"]
+        assert items[2].columns is None
+
+    def test_missing_take_rejected(self):
+        with pytest.raises(ParseError):
+            parse_xnf("OUT OF V")
+
+
+class TestManipulationStatements:
+    def test_co_delete(self):
+        query = parse_xnf("OUT OF V WHERE Xemp e SUCH THAT e.sal < 2 DELETE *")
+        assert query.action == "DELETE"
+
+    def test_co_update(self):
+        query = parse_xnf("OUT OF V UPDATE Xemp SET sal = sal * 2, bonus = 1")
+        assert query.action == "UPDATE"
+        assert query.update_node == "Xemp"
+        assert len(query.update_assignments) == 2
+
+
+class TestViewStatements:
+    def test_create_view(self):
+        stmt = parse_xnf("CREATE VIEW MY-VIEW AS OUT OF V TAKE *")
+        assert isinstance(stmt, xast.CreateXNFView)
+        assert stmt.name == "MY-VIEW"
+
+    def test_drop_view(self):
+        stmt = parse_xnf("DROP VIEW IF EXISTS MY-VIEW")
+        assert isinstance(stmt, xast.DropXNFView)
+        assert stmt.if_exists
+
+    def test_statement_batch(self):
+        statements = parse_xnf_statements(
+            "CREATE VIEW A AS OUT OF V TAKE *; OUT OF A TAKE *"
+        )
+        assert len(statements) == 2
+
+    def test_to_sql_reparses(self):
+        source = """
+        CREATE VIEW W AS
+        OUT OF Xd AS DEPT, Xe AS EMP,
+          emp AS (RELATE Xd, Xe WHERE Xd.dno = Xe.edno)
+        TAKE Xd(*), Xe(*), emp
+        """
+        stmt = parse_xnf(source)
+        again = parse_xnf(stmt.to_sql())
+        assert again.to_sql() == stmt.to_sql()

@@ -1,0 +1,313 @@
+"""Manipulation: udi-operations, connect/disconnect, propagation rules."""
+
+import pytest
+
+from repro.errors import UpdatabilityError, XNFError
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+from repro.xnf.manipulate import analyze_edge, analyze_node
+from repro.xnf.lang.parser import parse_xnf
+from repro.xnf.views import XNFViewCatalog, resolve
+
+
+@pytest.fixture
+def co(fig4_session):
+    return fig4_session.query("OUT OF EXT-ALL-DEPS-ORG TAKE *")
+
+
+class TestNodeUpdatabilityAnalysis:
+    def analyze(self, db, text, node="n"):
+        schema = resolve(parse_xnf(text), XNFViewCatalog())
+        return analyze_node(schema.nodes[node], db)
+
+    def test_table_shorthand_updatable(self, fig4_db):
+        info = self.analyze(fig4_db, "OUT OF n AS EMP TAKE *")
+        assert info.updatable
+        assert info.base_table == "EMP"
+        assert info.column_map["sal"] == "sal"
+
+    def test_simple_select_updatable(self, fig4_db):
+        info = self.analyze(
+            fig4_db, "OUT OF n AS (SELECT eno, sal AS pay FROM EMP) TAKE *"
+        )
+        assert info.updatable
+        assert info.column_map == {"eno": "eno", "pay": "sal"}
+
+    def test_select_star_with_where_updatable(self, fig4_db):
+        info = self.analyze(
+            fig4_db, "OUT OF n AS (SELECT * FROM EMP WHERE sal > 1) TAKE *"
+        )
+        assert info.updatable
+
+    def test_distinct_read_only(self, fig4_db):
+        info = self.analyze(
+            fig4_db, "OUT OF n AS (SELECT DISTINCT sal FROM EMP) TAKE *"
+        )
+        assert not info.updatable and "DISTINCT" in info.reason
+
+    def test_aggregate_read_only(self, fig4_db):
+        info = self.analyze(
+            fig4_db,
+            "OUT OF n AS (SELECT edno, COUNT(*) AS c FROM EMP GROUP BY edno) TAKE *",
+        )
+        assert not info.updatable
+
+    def test_join_read_only(self, fig4_db):
+        info = self.analyze(
+            fig4_db,
+            "OUT OF n AS (SELECT e.eno FROM EMP e, DEPT d "
+            "WHERE e.edno = d.dno) TAKE *",
+        )
+        assert not info.updatable
+
+    def test_computed_column_read_only(self, fig4_db):
+        info = self.analyze(
+            fig4_db, "OUT OF n AS (SELECT sal * 2 AS dbl FROM EMP) TAKE *"
+        )
+        assert not info.updatable
+
+
+class TestEdgeUpdatabilityAnalysis:
+    def analyze(self, db, text, edge="r"):
+        schema = resolve(parse_xnf(text), XNFViewCatalog())
+        return analyze_edge(schema.edges[edge], db)
+
+    def test_fk_edge(self, fig4_db):
+        info = self.analyze(
+            fig4_db,
+            "OUT OF d AS DEPT, e AS EMP, "
+            "r AS (RELATE d, e WHERE d.dno = e.edno) TAKE *",
+        )
+        assert info.kind == "fk"
+        assert info.parent_col == "dno" and info.child_col == "edno"
+
+    def test_fk_edge_reversed_sides(self, fig4_db):
+        info = self.analyze(
+            fig4_db,
+            "OUT OF d AS DEPT, e AS EMP, "
+            "r AS (RELATE d, e WHERE e.edno = d.dno) TAKE *",
+        )
+        assert info.kind == "fk"
+        assert info.child_col == "edno"
+
+    def test_mn_edge(self, fig4_db):
+        info = self.analyze(
+            fig4_db,
+            "OUT OF p AS PROJ, e AS EMP, r AS (RELATE p, e "
+            "WITH ATTRIBUTES ep.percentage USING EMPPROJ ep "
+            "WHERE p.pno = ep.eppno AND e.eno = ep.epeno) TAKE *",
+        )
+        assert info.kind == "mn"
+        assert info.link_table == "EMPPROJ"
+        assert info.parent_link_col == "eppno"
+        assert info.child_link_col == "epeno"
+        assert info.attr_cols == {"percentage": "percentage"}
+
+    def test_derived_relationship_read_only(self, fig4_db):
+        info = self.analyze(
+            fig4_db,
+            "OUT OF d AS DEPT, e AS EMP, "
+            "r AS (RELATE d, e WHERE d.budget > e.sal) TAKE *",
+        )
+        assert info.kind == "readonly"
+
+
+class TestUpdate:
+    def test_update_propagates(self, co, fig4_db):
+        e1 = co.find("Xemp", ename="e1")
+        co.update(e1, sal=999.0)
+        assert e1["sal"] == 999.0
+        assert fig4_db.execute("SELECT sal FROM EMP WHERE eno = 1").scalar() == 999.0
+
+    def test_relationship_column_blocked(self, co):
+        """Paper: 'update of the dno column of Xemp is done only through
+        the relationship connect/disconnect'."""
+        e1 = co.find("Xemp", ename="e1")
+        with pytest.raises(UpdatabilityError):
+            co.update(e1, edno=2)
+
+    def test_unknown_column_blocked(self, co):
+        e1 = co.find("Xemp", ename="e1")
+        with pytest.raises(UpdatabilityError):
+            co.update(e1, nothere=1)
+
+    def test_cache_index_follows_update(self, co):
+        e1 = co.find("Xemp", ename="e1")
+        co.update(e1, ename="e1-renamed")
+        assert co.find("Xemp", ename="e1-renamed") is e1
+        assert co.find("Xemp", ename="e1") is None
+
+
+class TestDelete:
+    def test_delete_removes_base_row(self, co, fig4_db):
+        e4 = co.find("Xemp", ename="e4")
+        co.delete(e4)
+        assert fig4_db.execute("SELECT COUNT(*) FROM EMP WHERE eno = 4").scalar() == 0
+        assert co.find("Xemp", ename="e4") is None
+
+    def test_delete_disconnects_attached_mn_links(self, co, fig4_db):
+        """e4 has two membership link rows; deleting e4 removes them."""
+        e4 = co.find("Xemp", ename="e4")
+        co.delete(e4)
+        assert fig4_db.execute(
+            "SELECT COUNT(*) FROM EMPPROJ WHERE epeno = 4"
+        ).scalar() == 0
+
+    def test_delete_parent_nullifies_children_fks(self, co, fig4_db):
+        """Paper: delete of an Xdept tuple disconnects all its employment
+        instances — i.e. nullifies the employees' FK."""
+        dny = co.find("Xdept", dname="dNY")
+        co.delete(dny)
+        assert fig4_db.execute(
+            "SELECT COUNT(*) FROM EMP WHERE edno = 1"
+        ).scalar() == 0
+        assert fig4_db.execute(
+            "SELECT COUNT(*) FROM EMP WHERE edno IS NULL"
+        ).scalar() == 2
+
+    def test_delete_does_not_cascade_to_tuples(self, co):
+        """'delete of a tuple can only result in delete of the tuple itself
+        and the relationship instances directly attached to it'."""
+        dny = co.find("Xdept", dname="dNY")
+        co.delete(dny)
+        assert co.find("Xemp", ename="e1") is not None  # tuple survives
+
+
+class TestInsert:
+    def test_insert_propagates(self, co, fig4_db):
+        new_emp = co.insert("Xemp", eno=99, ename="new", sal=1.0, descr="staff")
+        assert fig4_db.execute("SELECT ename FROM EMP WHERE eno = 99").scalar() == "new"
+        assert co.find("Xemp", eno=99) is new_emp
+
+    def test_insert_then_connect(self, co, fig4_db):
+        new_emp = co.insert("Xemp", eno=99, ename="new", sal=1.0, descr="staff")
+        dny = co.find("Xdept", dname="dNY")
+        co.connect("employment", dny, new_emp)
+        assert fig4_db.execute("SELECT edno FROM EMP WHERE eno = 99").scalar() == 1
+        assert new_emp in dny.related("employment")
+
+
+class TestConnectDisconnect:
+    def test_fk_disconnect_nullifies(self, co, fig4_db):
+        """'Disconnecting an employment relationship instance results in
+        setting the dno of the tuple of Xemp to the null value.'"""
+        e1 = co.find("Xemp", ename="e1")
+        conn = e1.connections("employment")[0]
+        co.disconnect(conn)
+        assert fig4_db.execute("SELECT edno FROM EMP WHERE eno = 1").scalar() is None
+        assert e1["edno"] is None
+        assert e1.related("employment") == []
+
+    def test_fk_connect_sets(self, co, fig4_db):
+        e1 = co.find("Xemp", ename="e1")
+        co.disconnect(e1.connections("employment")[0])
+        dsf = co.find("Xdept", dname="dSF")
+        co.connect("employment", dsf, e1)
+        assert fig4_db.execute("SELECT edno FROM EMP WHERE eno = 1").scalar() == 2
+
+    def test_mn_connect_inserts_link_row(self, co, fig4_db):
+        """'the operation connect results in inserting a tuple in the
+        EMPPROJ table'."""
+        p3 = co.find("Xproj", pname="p3")
+        e1 = co.find("Xemp", ename="e1")
+        co.connect("membership", p3, e1, {"percentage": 40.0})
+        assert (1, 3, 40.0) in fig4_db.execute("SELECT * FROM EMPPROJ").rows
+
+    def test_mn_disconnect_deletes_link_row(self, co, fig4_db):
+        """'The disconnect operation results in deleting the corresponding
+        tuple in the EMPPROJ table.'"""
+        p2 = co.find("Xproj", pname="p2")
+        conn = [c for c in co.connections("membership") if c.parent is p2][0]
+        target = (conn.child["eno"], 2, conn["percentage"])
+        co.disconnect(conn)
+        assert target not in fig4_db.execute("SELECT * FROM EMPPROJ").rows
+
+    def test_connect_wrong_partner_types(self, co):
+        e1 = co.find("Xemp", ename="e1")
+        p2 = co.find("Xproj", pname="p2")
+        with pytest.raises(UpdatabilityError):
+            co.connect("employment", e1, p2)
+
+    def test_readonly_relationship_rejected(self, fig4_session):
+        derived = fig4_session.query(
+            """
+            OUT OF d AS DEPT, e AS EMP,
+              richer AS (RELATE d, e WHERE d.budget > e.sal)
+            TAKE *
+            """
+        )
+        parent = derived.node("d")[0]
+        child = derived.node("e")[0]
+        with pytest.raises(UpdatabilityError):
+            derived.connect("richer", parent, child)
+
+    def test_unknown_attribute_rejected(self, co):
+        p3 = co.find("Xproj", pname="p3")
+        e1 = co.find("Xemp", ename="e1")
+        with pytest.raises(UpdatabilityError):
+            co.connect("membership", p3, e1, {"nothere": 1})
+
+
+class TestDeferredPropagation:
+    def test_flush_applies_batch(self, fig4_db):
+        session = XNFSession(fig4_db, deferred_propagation=True)
+        company.create_paper_views(session)
+        co = session.query("OUT OF ALL-DEPS TAKE *")
+        e1 = co.find("Xemp", ename="e1")
+        co.update(e1, sal=1234.0)
+        # cache sees it immediately, the base table does not yet
+        assert e1["sal"] == 1234.0
+        assert fig4_db.execute("SELECT sal FROM EMP WHERE eno = 1").scalar() == 100.0
+        assert co.manipulator.pending_count == 1
+        applied = co.flush()
+        assert applied == 1
+        assert fig4_db.execute("SELECT sal FROM EMP WHERE eno = 1").scalar() == 1234.0
+
+    def test_flush_is_transactional(self, fig4_db):
+        session = XNFSession(fig4_db, deferred_propagation=True)
+        company.create_paper_views(session)
+        co = session.query("OUT OF ALL-DEPS TAKE *")
+        e1 = co.find("Xemp", ename="e1")
+        co.update(e1, sal=1.0)
+        # sabotage: second queued statement fails (duplicate PK)
+        from repro.relational.sql import ast as sql_ast
+
+        co.manipulator._pending.append(
+            sql_ast.InsertStmt("EMP", None, rows=[[
+                sql_ast.Literal(1), sql_ast.Literal("dup"), sql_ast.Literal(0.0),
+                sql_ast.Literal(None), sql_ast.Literal("x"),
+            ]])
+        )
+        with pytest.raises(Exception):
+            co.flush()
+        # the whole batch rolled back
+        assert fig4_db.execute("SELECT sal FROM EMP WHERE eno = 1").scalar() == 100.0
+
+
+class TestCOLevelStatements:
+    def test_co_delete(self, fig4_session, fig4_db):
+        """Section 3.7's CO deletion statement."""
+        removed = fig4_session.execute(
+            """
+            OUT OF ALL-DEPS
+            WHERE Xemp e SUCH THAT e.sal < 200
+            DELETE *
+            """
+        )
+        # the restricted CO: both depts, e1 only, all 4 projects
+        assert removed == 7
+        assert fig4_db.execute("SELECT COUNT(*) FROM DEPT").scalar() == 0
+        assert fig4_db.execute("SELECT COUNT(*) FROM PROJ").scalar() == 0
+        assert fig4_db.execute("SELECT COUNT(*) FROM EMP").scalar() == 3
+
+    def test_co_update(self, fig4_session, fig4_db):
+        updated = fig4_session.execute(
+            """
+            OUT OF ALL-DEPS
+            WHERE Xemp e SUCH THAT e.edno = 1
+            UPDATE Xemp SET sal = sal * 2
+            """
+        )
+        assert updated == 2
+        assert fig4_db.execute("SELECT sal FROM EMP WHERE eno = 1").scalar() == 200.0
+        assert fig4_db.execute("SELECT sal FROM EMP WHERE eno = 3").scalar() == 300.0

@@ -1,0 +1,138 @@
+"""Materialized CO views (snapshots) — the footnote-1 extension."""
+
+import pytest
+
+from repro.errors import XNFError
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+
+
+@pytest.fixture
+def session(fig4_session):
+    return fig4_session
+
+
+class TestMaterialize:
+    def test_snapshot_tables_created(self, session, fig4_db):
+        handle = session.materialize_view("ALL-DEPS")
+        assert set(handle.node_tables) == {"Xdept", "Xemp", "Xproj"}
+        assert set(handle.edge_tables) == {"employment", "ownership"}
+        for table in handle.node_tables.values():
+            assert fig4_db.catalog.has_table(table)
+        assert handle.tuple_count == 10  # 2 + 4 + 4
+        assert handle.connection_count == 8
+
+    def test_load_snapshot_equals_live_view(self, session):
+        live = session.query("OUT OF EXT-ALL-DEPS-ORG TAKE *")
+        session.materialize_view("EXT-ALL-DEPS-ORG", "SNAP1")
+        snap = session.load_snapshot("SNAP1")
+        for node in live.nodes():
+            assert sorted(
+                tuple(t.values()) for t in live.node(node)
+            ) == sorted(tuple(t.values()) for t in snap.node(node))
+        for edge in live.edges():
+            live_pairs = sorted(
+                (tuple(c.parent.values()), tuple(c.child.values()))
+                for c in live.connections(edge)
+            )
+            snap_pairs = sorted(
+                (tuple(c.parent.values()), tuple(c.child.values()))
+                for c in snap.connections(edge)
+            )
+            assert live_pairs == snap_pairs
+
+    def test_attributes_survive_materialisation(self, session):
+        session.materialize_view("ALL-DEPS-ORG", "SNAP2")
+        snap = session.load_snapshot("SNAP2")
+        attrs = sorted(
+            (c.parent["pname"], c.child["ename"], c["percentage"])
+            for c in snap.connections("membership")
+        )
+        assert attrs == [("p2", "e3", 50.0), ("p2", "e4", 25.0), ("p4", "e4", 100.0)]
+
+    def test_surrogate_key_hidden(self, session):
+        session.materialize_view("ALL-DEPS", "SNAP3")
+        snap = session.load_snapshot("SNAP3")
+        dept = snap.node("Xdept")[0]
+        assert "xnf_rid" not in [c.lower() for c in dept.as_dict()]
+        with pytest.raises(XNFError):
+            dept["xnf_rid"]
+
+    def test_snapshot_is_a_snapshot(self, session, fig4_db):
+        """Base-table changes after materialisation are not visible."""
+        session.materialize_view("ALL-DEPS", "SNAP4")
+        fig4_db.execute("INSERT INTO EMP VALUES (99, 'late', 1.0, 1, 'staff')")
+        snap = session.load_snapshot("SNAP4")
+        assert snap.find("Xemp", ename="late") is None
+
+    def test_refresh_picks_up_changes(self, session, fig4_db):
+        session.materialize_view("ALL-DEPS", "SNAP5")
+        fig4_db.execute("INSERT INTO EMP VALUES (99, 'late', 1.0, 1, 'staff')")
+        session.refresh_snapshot("SNAP5")
+        snap = session.load_snapshot("SNAP5")
+        assert snap.find("Xemp", ename="late") is not None
+
+    def test_navigation_on_snapshot(self, session):
+        session.materialize_view("EXT-ALL-DEPS-ORG", "SNAP6")
+        snap = session.load_snapshot("SNAP6")
+        dny = snap.find("Xdept", dname="dNY")
+        projects = snap.path(dny, "employment->projmanagement")
+        assert sorted(t["pname"] for t in projects) == ["p2", "p3"]
+
+    def test_snapshot_loading_avoids_fixpoint(self, session):
+        """Loading a recursive view's snapshot needs no recursion: the
+        surrogate link tables already encode the closed instance."""
+        session.materialize_view("EXT-ALL-DEPS-ORG", "SNAP7")
+        live_iters = session.last_stats.iterations
+        session.load_snapshot("SNAP7")
+        snap_iters = session.last_stats.iterations
+        assert live_iters > snap_iters or snap_iters <= 2
+
+    def test_drop_snapshot(self, session, fig4_db):
+        handle = session.materialize_view("ALL-DEPS", "SNAP8")
+        session.drop_snapshot("SNAP8")
+        for table in handle.node_tables.values():
+            assert not fig4_db.catalog.has_table(table)
+        with pytest.raises(XNFError):
+            session.load_snapshot("SNAP8")
+
+    def test_duplicate_snapshot_rejected(self, session):
+        session.materialize_view("ALL-DEPS", "SNAP9")
+        with pytest.raises(XNFError):
+            session.materialize_view("ALL-DEPS", "SNAP9")
+
+    def test_unknown_view_rejected(self, session):
+        with pytest.raises(XNFError):
+            session.materialize_view("NOPE")
+
+    def test_snapshot_listing(self, session):
+        session.materialize_view("ALL-DEPS", "SNAPA")
+        session.materialize_view("ALL-DEPS-ORG", "SNAPB")
+        assert session.snapshots() == ["SNAPA", "SNAPB"]
+
+    def test_null_safe_connections(self, fig4_db):
+        """Connections between tuples whose *other* columns are NULL
+        survive the round trip (surrogate keys, not value joins)."""
+        fig4_db.execute("UPDATE EMP SET descr = NULL WHERE eno = 1")
+        fresh = XNFSession(fig4_db)
+        company.create_paper_views(fresh)
+        fresh.materialize_view("ALL-DEPS", "SNAPN")
+        snap = fresh.load_snapshot("SNAPN")
+        e1 = snap.find("Xemp", ename="e1")
+        assert e1["descr"] is None
+        assert [d["dname"] for d in e1.related("employment")] == ["dNY"]
+
+    def test_snapshot_manipulation_writes_to_snapshot_tables(
+        self, session, fig4_db
+    ):
+        session.materialize_view("ALL-DEPS", "SNAPM")
+        snap = session.load_snapshot("SNAPM")
+        e1 = snap.find("Xemp", ename="e1")
+        snap.update(e1, sal=777.0)
+        # the snapshot table changed, the original base table did not
+        assert fig4_db.execute(
+            "SELECT sal FROM SNAPM_XEMP WHERE ename = 'e1'"
+        ).scalar() == 777.0
+        assert fig4_db.execute(
+            "SELECT sal FROM EMP WHERE ename = 'e1'"
+        ).scalar() == 100.0

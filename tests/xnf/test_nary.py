@@ -1,0 +1,234 @@
+"""n-ary relationships (section 2: "in a general setting we allow for
+n-ary relationships").
+
+The classic ternary example: SUPPLY relates a project (parent) with a part
+and a supplier (two child partners) through a three-way link table, with a
+quantity attribute on the relationship.
+"""
+
+import pytest
+
+from repro.errors import SchemaGraphError, UpdatabilityError, XNFError
+from repro.relational.engine import Database
+from repro.xnf.api import XNFSession
+from repro.xnf.lang.parser import parse_xnf
+
+TERNARY_CO = """
+OUT OF
+  Xproj AS (SELECT * FROM PROJECT WHERE active = TRUE),
+  Xpart AS PART,
+  Xsupp AS SUPPLIER,
+  supply AS (RELATE Xproj, Xpart, Xsupp
+             WITH ATTRIBUTES s.qty
+             USING SUPPLY s
+             WHERE Xproj.pjid = s.spj AND Xpart.ptid = s.spt
+               AND Xsupp.sid = s.ssu)
+TAKE *
+"""
+
+
+@pytest.fixture
+def supply_db():
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE PROJECT (pjid INTEGER PRIMARY KEY, pjname VARCHAR,
+                              active BOOLEAN);
+        CREATE TABLE PART (ptid INTEGER PRIMARY KEY, ptname VARCHAR);
+        CREATE TABLE SUPPLIER (sid INTEGER PRIMARY KEY, sname VARCHAR);
+        CREATE TABLE SUPPLY (spj INTEGER, spt INTEGER, ssu INTEGER,
+                             qty INTEGER);
+        """
+    )
+    db.execute(
+        "INSERT INTO PROJECT VALUES (1, 'alpha', TRUE), (2, 'beta', TRUE), "
+        "(3, 'mothballed', FALSE)"
+    )
+    db.execute(
+        "INSERT INTO PART VALUES (10, 'bolt'), (11, 'nut'), (12, 'gear'), "
+        "(13, 'unused-part')"
+    )
+    db.execute(
+        "INSERT INTO SUPPLIER VALUES (100, 'acme'), (101, 'globex'), "
+        "(102, 'idle-supplier')"
+    )
+    db.execute(
+        "INSERT INTO SUPPLY VALUES "
+        "(1, 10, 100, 500), "   # alpha gets bolts from acme
+        "(1, 11, 101, 200), "   # alpha gets nuts from globex
+        "(2, 10, 101, 50), "    # beta gets bolts from globex
+        "(3, 12, 100, 10)"      # mothballed project: filtered out
+    )
+    return db
+
+
+@pytest.fixture
+def supply_co(supply_db):
+    return XNFSession(supply_db).query(TERNARY_CO)
+
+
+class TestParsing:
+    def test_three_partners_parse(self):
+        query = parse_xnf(TERNARY_CO)
+        rel = query.components[3]
+        assert rel.parent == "Xproj"
+        assert rel.child == "Xpart"
+        assert rel.extra_partners == [("Xsupp", None)]
+
+    def test_to_sql_roundtrip(self):
+        query = parse_xnf(TERNARY_CO)
+        again = parse_xnf(query.to_sql())
+        assert again.to_sql() == query.to_sql()
+
+    def test_roles_on_extra_partners(self):
+        query = parse_xnf(
+            "OUT OF a AS T, r AS (RELATE a one, a two, a three "
+            "WHERE one.x = two.y AND two.y = three.z) TAKE *"
+        )
+        rel = query.components[1]
+        assert rel.parent_role == "one"
+        assert rel.child_role == "two"
+        assert rel.extra_partners == [("a", "three")]
+
+
+class TestSchema:
+    def test_children_and_roots(self, supply_co):
+        schema = supply_co.schema
+        edge = schema.edges["supply"]
+        assert not edge.is_binary
+        assert edge.child_names() == ["Xpart", "Xsupp"]
+        assert schema.roots() == ["Xproj"]
+
+    def test_shared_counts_all_slots(self, supply_co):
+        assert supply_co.schema.shared_nodes() == []
+
+    def test_duplicate_partner_needs_roles(self):
+        with pytest.raises(SchemaGraphError):
+            XNFSession(Database()).execute(
+                "OUT OF a AS T, r AS (RELATE a, a, a WHERE a.x = a.y) TAKE *"
+            )
+
+    def test_describe_lists_all_targets(self, supply_co):
+        text = supply_co.schema.describe()
+        assert "Xproj -> Xpart, Xsupp" in text
+
+
+class TestReachability:
+    def test_parts_and_suppliers_of_active_projects(self, supply_co):
+        assert sorted(t["ptname"] for t in supply_co.node("Xpart")) == [
+            "bolt", "nut",
+        ]
+        assert sorted(t["sname"] for t in supply_co.node("Xsupp")) == [
+            "acme", "globex",
+        ]
+
+    def test_inactive_project_chain_excluded(self, supply_co):
+        # project 3 is filtered; its gear/acme supply must not make 'gear'
+        # reachable (acme is reachable through project 1 instead)
+        assert supply_co.find("Xpart", ptname="gear") is None
+        assert supply_co.find("Xproj", pjname="mothballed") is None
+
+    def test_unlinked_tuples_excluded(self, supply_co):
+        assert supply_co.find("Xpart", ptname="unused-part") is None
+        assert supply_co.find("Xsupp", sname="idle-supplier") is None
+
+    def test_connection_count_and_attributes(self, supply_co):
+        conns = supply_co.connections("supply")
+        assert len(conns) == 3
+        triple = sorted(
+            (c.parent["pjname"], c.child["ptname"],
+             c.extra_children[0]["sname"], c["qty"])
+            for c in conns
+        )
+        assert triple == [
+            ("alpha", "bolt", "acme", 500),
+            ("alpha", "nut", "globex", 200),
+            ("beta", "bolt", "globex", 50),
+        ]
+
+
+class TestNavigation:
+    def test_related_from_parent_yields_all_partners(self, supply_co):
+        alpha = supply_co.find("Xproj", pjname="alpha")
+        partners = alpha.related("supply")
+        names = sorted(
+            t.get("ptname") or t.get("sname") for t in partners
+        )
+        assert names == ["acme", "bolt", "globex", "nut"]
+
+    def test_related_from_any_child_yields_parent(self, supply_co):
+        acme = supply_co.find("Xsupp", sname="acme")
+        assert [t["pjname"] for t in acme.related("supply")] == ["alpha"]
+        bolt = supply_co.find("Xpart", ptname="bolt")
+        assert sorted(t["pjname"] for t in bolt.related("supply")) == [
+            "alpha", "beta",
+        ]
+
+    def test_path_with_node_filter(self, supply_co):
+        alpha = supply_co.find("Xproj", pjname="alpha")
+        suppliers = supply_co.path(alpha, "supply->Xsupp")
+        assert sorted(t["sname"] for t in suppliers) == ["acme", "globex"]
+        parts = supply_co.path(alpha, "supply->Xpart")
+        assert sorted(t["ptname"] for t in parts) == ["bolt", "nut"]
+
+    def test_count_path_restriction(self, supply_db):
+        session = XNFSession(supply_db)
+        co = session.query(
+            TERNARY_CO.replace(
+                "TAKE *",
+                "WHERE Xproj p SUCH THAT COUNT(p->supply->Xsupp) >= 2 TAKE *",
+            )
+        )
+        assert [t["pjname"] for t in co.node("Xproj")] == ["alpha"]
+
+
+class TestGuards:
+    def test_nary_edges_are_read_only(self, supply_co):
+        alpha = supply_co.find("Xproj", pjname="alpha")
+        bolt = supply_co.find("Xpart", ptname="bolt")
+        with pytest.raises(UpdatabilityError):
+            supply_co.connect("supply", alpha, bolt)
+
+    def test_nary_edge_restriction_rejected(self, supply_db):
+        session = XNFSession(supply_db)
+        with pytest.raises(SchemaGraphError):
+            session.query(
+                TERNARY_CO.replace(
+                    "TAKE *",
+                    "WHERE supply (p, x) SUCH THAT x.qty > 1 TAKE *",
+                )
+            )
+
+    def test_nary_snapshot_rejected(self, supply_db):
+        session = XNFSession(supply_db)
+        session.views.create("SUPPLYCO", parse_xnf(TERNARY_CO))
+        with pytest.raises(XNFError):
+            session.materialize_view("SUPPLYCO")
+
+    def test_node_updates_still_work(self, supply_co, supply_db):
+        bolt = supply_co.find("Xpart", ptname="bolt")
+        supply_co.update(bolt, ptname="BOLT")
+        assert supply_db.execute(
+            "SELECT ptname FROM PART WHERE ptid = 10"
+        ).scalar() == "BOLT"
+
+
+class TestProjection:
+    def test_take_requires_all_partners(self, supply_db):
+        session = XNFSession(supply_db)
+        co = session.query(
+            TERNARY_CO.replace("TAKE *", "TAKE Xproj(*), Xpart(*), supply")
+        )
+        # Xsupp not taken -> the ternary edge is implicitly discarded
+        assert "supply" not in co.edges()
+        assert co.nodes() == ["Xproj", "Xpart"]
+
+    def test_take_all_partners_keeps_edge(self, supply_db):
+        session = XNFSession(supply_db)
+        co = session.query(
+            TERNARY_CO.replace(
+                "TAKE *", "TAKE Xproj(*), Xpart(*), Xsupp(*), supply"
+            )
+        )
+        assert "supply" in co.edges()
+        assert len(co.connections("supply")) == 3

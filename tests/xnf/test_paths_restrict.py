@@ -1,0 +1,198 @@
+"""Path expressions and instance-level restrictions (sections 3.3–3.5)."""
+
+import pytest
+
+from repro.errors import PathError, XNFError
+from repro.workloads import company
+from repro.xnf.api import XNFSession
+
+
+@pytest.fixture
+def ext_co(fig4_session):
+    return fig4_session.query("OUT OF EXT-ALL-DEPS-ORG TAKE *")
+
+
+class TestPathEvaluation:
+    def test_single_step(self, ext_co):
+        d = ext_co.find("Xdept", dname="dNY")
+        emps = ext_co.path(d, "employment")
+        assert sorted(t["ename"] for t in emps) == ["e1", "e2"]
+
+    def test_reduced_path(self, ext_co):
+        """d->employment->projmanagement: the paper's syntactically reduced
+        form, skipping the intermediate node name."""
+        d = ext_co.find("Xdept", dname="dNY")
+        projects = ext_co.path(d, "employment->projmanagement")
+        assert sorted(t["pname"] for t in projects) == ["p2", "p3"]
+
+    def test_full_path_equals_reduced(self, ext_co):
+        d = ext_co.find("Xdept", dname="dNY")
+        full = ext_co.path(d, "employment->Xemp->projmanagement->Xproj")
+        reduced = ext_co.path(d, "employment->projmanagement")
+        assert [t["pname"] for t in full] == [t["pname"] for t in reduced]
+
+    def test_node_start_ranges_over_all_tuples(self, ext_co):
+        """Xdept->employment->... denotes targets reachable from *any*
+        department (section 3.5, second example)."""
+        projects = ext_co.path("Xdept", "employment->projmanagement")
+        assert sorted(t["pname"] for t in projects) == ["p2", "p3", "p4"]
+
+    def test_backward_traversal(self, ext_co):
+        e1 = ext_co.find("Xemp", ename="e1")
+        depts = ext_co.path(e1, "employment")
+        assert [t["dname"] for t in depts] == ["dNY"]
+
+    def test_qualified_path(self, ext_co):
+        d = ext_co.find("Xdept", dname="dNY")
+        projects = ext_co.path(
+            d, "employment->(Xemp e WHERE e.sal >= 200)->projmanagement"
+        )
+        assert [t["pname"] for t in projects] == ["p3"]
+
+    def test_qualified_path_referencing_anchor(self, ext_co):
+        d = ext_co.find("Xdept", dname="dNY")
+        projects = ext_co.path(
+            d, "employment->projmanagement->(Xproj p WHERE p.budget > 25)"
+        )
+        assert [t["pname"] for t in projects] == ["p3"]
+
+    def test_path_deduplicates(self, ext_co):
+        p2 = ext_co.find("Xproj", pname="p2")
+        # membership back to employees, then their departments: e3 and e4
+        # are both in dSF — result must list it once.
+        depts = ext_co.path(p2, "membership->employment")
+        assert [t["dname"] for t in depts] == ["dSF"]
+
+    def test_unknown_step_raises(self, ext_co):
+        d = ext_co.find("Xdept", dname="dNY")
+        with pytest.raises(PathError):
+            ext_co.path(d, "nosuchedge")
+
+    def test_wrong_partner_raises(self, ext_co):
+        d = ext_co.find("Xdept", dname="dNY")
+        with pytest.raises(PathError):
+            ext_co.path(d, "membership")
+
+    def test_empty_path_result(self, ext_co):
+        p1 = ext_co.find("Xproj", pname="p1")
+        assert ext_co.path(p1, "membership") == []
+
+
+class TestCyclicRolePaths:
+    @pytest.fixture
+    def manages_co(self, db):
+        db.execute(
+            "CREATE TABLE STAFF (eno INTEGER PRIMARY KEY, ename VARCHAR, "
+            "mgrno INTEGER, rank INTEGER)"
+        )
+        db.execute(
+            "INSERT INTO STAFF VALUES (1, 'boss', NULL, 0), "
+            "(2, 'mid', 1, 1), (3, 'leaf1', 2, 2), (4, 'leaf2', 2, 2)"
+        )
+        session = XNFSession(db)
+        return session.query(
+            """
+            OUT OF
+              Xtop AS (SELECT * FROM STAFF WHERE mgrno IS NULL),
+              Xemp AS STAFF,
+              heads AS (RELATE Xtop, Xemp WHERE Xtop.eno = Xemp.eno),
+              manages AS (RELATE Xemp manager, Xemp report
+                          WHERE manager.eno = report.mgrno)
+            TAKE *
+            """
+        )
+
+    def test_recursive_reachability(self, manages_co):
+        assert len(manages_co.node("Xemp")) == 4
+
+    def test_role_selects_direction(self, manages_co):
+        mid = manages_co.find("Xemp", ename="mid")
+        reports = manages_co.path(mid, "manages[report]")
+        assert sorted(t["ename"] for t in reports) == ["leaf1", "leaf2"]
+        managers = manages_co.path(mid, "manages[manager]")
+        assert [t["ename"] for t in managers] == ["boss"]
+
+    def test_missing_role_is_ambiguous(self, manages_co):
+        mid = manages_co.find("Xemp", ename="mid")
+        with pytest.raises(PathError):
+            manages_co.path(mid, "manages")
+
+    def test_two_level_role_path(self, manages_co):
+        boss = manages_co.find("Xemp", ename="boss")
+        grand = manages_co.path(boss, "manages[report]->manages[report]")
+        assert sorted(t["ename"] for t in grand) == ["leaf1", "leaf2"]
+
+
+class TestInstanceRestrictions:
+    def test_count_path_restriction(self, fig4_session):
+        co = fig4_session.query(
+            """
+            OUT OF EXT-ALL-DEPS-ORG
+            WHERE Xdept d SUCH THAT COUNT(d->employment) >= 2
+            TAKE *
+            """
+        )
+        assert sorted(t["dname"] for t in co.node("Xdept")) == ["dNY", "dSF"]
+
+    def test_count_path_with_budget(self, fig4_session):
+        """Section 3.5's query: at least 2 managed projects AND a budget."""
+        co = fig4_session.query(
+            """
+            OUT OF EXT-ALL-DEPS-ORG
+            WHERE Xdept d SUCH THAT
+              COUNT(d->employment->projmanagement) >= 2 AND d.budget > 500
+            TAKE *
+            """
+        )
+        assert [t["dname"] for t in co.node("Xdept")] == ["dNY"]
+
+    def test_exists_qualified_path(self, fig4_session):
+        """Section 3.5's staff/budget query."""
+        co = fig4_session.query(
+            """
+            OUT OF EXT-ALL-DEPS-ORG
+            WHERE Xdept d SUCH THAT
+              (EXISTS d->employment->(Xemp e WHERE e.descr = 'staff')->
+               projmanagement->(Xproj p WHERE p.budget > d.budget / 100))
+            TAKE *
+            """
+        )
+        # dSF's only staff employee (e4) manages no project: EXISTS fails.
+        assert sorted(t["dname"] for t in co.node("Xdept")) == ["dNY"]
+
+    def test_restriction_drops_unreachable_downstream(self, fig4_session):
+        co = fig4_session.query(
+            """
+            OUT OF ALL-DEPS
+            WHERE Xdept d SUCH THAT COUNT(d->employment) >= 99
+            TAKE *
+            """
+        )
+        assert co.node("Xdept") == []
+        assert co.node("Xemp") == []
+        assert co.node("Xproj") == []
+
+    def test_edge_restriction_instance_level(self, fig4_session):
+        co = fig4_session.query(
+            """
+            OUT OF EXT-ALL-DEPS-ORG
+            WHERE employment (d, e) SUCH THAT
+              COUNT(e->projmanagement) >= 1
+            TAKE Xdept(*), employment, Xemp(*)
+            """
+        )
+        # only employees managing projects stay employed-connected
+        assert sorted(t["ename"] for t in co.node("Xemp")) == ["e1", "e2", "e3"]
+
+    def test_simultaneous_semantics(self, fig4_session):
+        """Restrictions are evaluated against the unrestricted instance:
+        dropping dSF must not change what dNY's COUNT sees."""
+        co = fig4_session.query(
+            """
+            OUT OF EXT-ALL-DEPS-ORG
+            WHERE Xdept d SUCH THAT
+              d.loc = 'NY' AND COUNT(d->employment->projmanagement) >= 2
+            TAKE *
+            """
+        )
+        assert [t["dname"] for t in co.node("Xdept")] == ["dNY"]
