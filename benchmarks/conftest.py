@@ -3,20 +3,66 @@
 Every experiment module both (a) registers pytest-benchmark timings and
 (b) appends human-readable rows to a session-wide report printed at the end
 of the run — the 'same rows/series the paper reports' requirement.
+
+The autouse ``plan_cache_ledger`` fixture additionally snapshots the
+engine-wide plan-cache counters around every benchmark test and writes
+``BENCH_plan_cache.json`` next to the repo root: per-test wall time plus
+plan-cache hits/misses/invalidations and the derived hit rate, with
+per-module aggregates.
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
+from repro.relational import plancache
+
 _REPORT_SECTIONS = {}
+_PLAN_CACHE_LEDGER = {"benchmarks": {}, "modules": {}}
+_LEDGER_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_plan_cache.json"
 
 
 def report(section: str, line: str) -> None:
     _REPORT_SECTIONS.setdefault(section, []).append(line)
 
 
+@pytest.fixture(autouse=True)
+def plan_cache_ledger(request):
+    """Per-test plan-cache accounting (wall time + hit/miss deltas)."""
+    before = plancache.snapshot_global_stats()
+    begin = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - begin
+    after = plancache.snapshot_global_stats()
+    delta = {key: after[key] - before[key] for key in after}
+    looked_up = delta["hits"] + delta["misses"]
+    entry = {
+        "wall_time_s": round(elapsed, 6),
+        "plan_cache": delta,
+        "hit_rate": round(delta["hits"] / looked_up, 4) if looked_up else None,
+    }
+    _PLAN_CACHE_LEDGER["benchmarks"][request.node.nodeid] = entry
+    module = request.node.nodeid.split("::", 1)[0].rsplit("/", 1)[-1]
+    agg = _PLAN_CACHE_LEDGER["modules"].setdefault(
+        module,
+        {"wall_time_s": 0.0, "hits": 0, "misses": 0, "invalidations": 0},
+    )
+    agg["wall_time_s"] = round(agg["wall_time_s"] + elapsed, 6)
+    agg["hits"] += delta["hits"]
+    agg["misses"] += delta["misses"]
+    agg["invalidations"] += delta["invalidations"]
+    looked_up = agg["hits"] + agg["misses"]
+    agg["hit_rate"] = round(agg["hits"] / looked_up, 4) if looked_up else None
+
+
 @pytest.fixture(scope="session", autouse=True)
 def final_report():
     yield
+    if _PLAN_CACHE_LEDGER["benchmarks"]:
+        _LEDGER_PATH.write_text(json.dumps(_PLAN_CACHE_LEDGER, indent=2) + "\n")
+        print(f"\nplan-cache ledger written to {_LEDGER_PATH}")
     if not _REPORT_SECTIONS:
         return
     print("\n")

@@ -109,12 +109,16 @@ class Table:
         for rid, row in self.heap.scan():
             index.insert_row(row, rid)
         self.indexes[index_name] = index
+        if self._catalog is not None:
+            self._catalog.bump_version(self.name)
         return index
 
     def drop_index(self, index_name: str) -> None:
         if index_name not in self.indexes:
             raise CatalogError(f"no index {index_name} on table {self.name}")
         del self.indexes[index_name]
+        if self._catalog is not None:
+            self._catalog.bump_version(self.name)
 
     def index_on(self, column_names: Sequence[str], require_range: bool = False) -> Optional[Index]:
         """Find an index whose key is exactly *column_names* (order-sensitive)."""
@@ -259,6 +263,18 @@ class Table:
     def fetch(self, rid: RID) -> Tuple[Any, ...]:
         return self.heap.fetch_row(rid)
 
+    def truncate(self) -> None:
+        """Drop all rows but keep the schema and index definitions.
+
+        Plans compiled against this Table object remain valid: the heap and
+        index *objects* survive, only their contents reset.  The XNF layer
+        uses this to refill per-round delta worktables in place.
+        """
+        self.heap.truncate()
+        for index in self.indexes.values():
+            index.clear()
+        self.stats = TableStats()
+
     # -- statistics ----------------------------------------------------------------
 
     def analyze(self) -> TableStats:
@@ -290,6 +306,8 @@ class Table:
                 max_value=maxima[pos],
             )
         self.stats = stats
+        if self._catalog is not None:
+            self._catalog.bump_version(self.name)
         return stats
 
 
@@ -309,6 +327,22 @@ class Catalog:
         self.buffer_pool = buffer_pool
         self.tables: Dict[str, Table] = {}
         self.views: Dict[str, ViewDefinition] = {}
+        #: monotonically increasing per-object schema/stats versions, keyed
+        #: by upper-cased table or view name.  Cached plans record the
+        #: versions of every object they reference; a later mismatch marks
+        #: the plan stale.  Names are never reset on drop, so a DROP+CREATE
+        #: of the same name yields a fresh version (the plan holds the old
+        #: Table object and must not survive).
+        self._object_versions: Dict[str, int] = {}
+        self._version_clock = 0
+
+    def bump_version(self, name: str) -> None:
+        """Record a schema/stats change to *name* (table or view)."""
+        self._version_clock += 1
+        self._object_versions[name.upper()] = self._version_clock
+
+    def object_version(self, name: str) -> int:
+        return self._object_versions.get(name.upper(), 0)
 
     def create_table(self, name: str, columns: Sequence[Column]) -> Table:
         key = name.upper()
@@ -317,6 +351,7 @@ class Catalog:
         table = Table(key, columns, self.buffer_pool)
         table._catalog = self
         self.tables[key] = table
+        self.bump_version(key)
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -327,6 +362,26 @@ class Catalog:
                 return
             raise CatalogError(f"no table named {name}")
         table.heap.truncate()
+        self.bump_version(key)
+
+    def detach_scratch(self, name: str) -> Optional[Table]:
+        """Remove a scratch table from the name space *without* a version
+        bump, keeping the Table object alive for later re-attachment.
+
+        The XNF layer uses this for its worktables: plans compiled against
+        the same Table object stay valid across instantiations, while the
+        catalog looks clean in between (temp tables are invisible once an
+        extraction finishes).
+        """
+        return self.tables.pop(name.upper(), None)
+
+    def attach_scratch(self, table: Table) -> None:
+        """Re-insert a previously detached scratch table, no version bump."""
+        key = table.name.upper()
+        if key in self.tables or key in self.views:
+            raise CatalogError(f"table or view {table.name} already exists")
+        table._catalog = self
+        self.tables[key] = table
 
     def get_table(self, name: str) -> Table:
         table = self.tables.get(name.upper())
@@ -343,6 +398,7 @@ class Catalog:
             raise CatalogError(f"table or view {name} already exists")
         view = ViewDefinition(key, sql_text, body)
         self.views[key] = view
+        self.bump_version(key)
         return view
 
     def drop_view(self, name: str, if_exists: bool = False) -> None:
@@ -352,6 +408,7 @@ class Catalog:
                 return
             raise CatalogError(f"no view named {name}")
         del self.views[key]
+        self.bump_version(key)
 
     def get_view(self, name: str) -> Optional[ViewDefinition]:
         return self.views.get(name.upper())

@@ -23,9 +23,16 @@ from repro.errors import (
     TransactionError,
 )
 from repro.relational.catalog import Catalog, Column, Table
-from repro.relational.executor.exprs import ExprCompiler
+from repro.relational.executor.exprs import PlanContext
 from repro.relational.executor.operators import SeqScan
 from repro.relational.optimizer.planner import CompiledPlan, Planner
+from repro.relational.plancache import (
+    CacheEntry,
+    NormalizedStatement,
+    PlanCache,
+    normalize_statement,
+    referenced_objects,
+)
 from repro.relational.qgm.build import QGMBuilder
 from repro.relational.qgm.model import Box
 from repro.relational.rewrite import Rewriter
@@ -157,6 +164,7 @@ class Database:
         page_size: int = 4096,
         buffer_capacity: int = 256,
         enable_rewrite: bool = True,
+        plan_cache_capacity: int = 256,
     ):
         self.disk = DiskManager(page_size)
         self.buffer_pool = BufferPool(self.disk, buffer_capacity)
@@ -168,6 +176,11 @@ class Database:
         self._txn: Optional[Transaction] = None
         self.last_timings: Dict[str, float] = {}
         self.statements_executed = 0
+        self.plan_cache = PlanCache(plan_cache_capacity)
+        #: detached scratch worktables (name -> Table), parked here by the
+        #: XNF layer between extractions; re-attaching skips version bumps
+        #: so plans compiled against them stay cached.
+        self.scratch_tables: Dict[str, Table] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -212,8 +225,7 @@ class Database:
         if isinstance(stmt, ast.AnalyzeStmt):
             return self._run_analyze(stmt)
         if isinstance(stmt, ast.ExplainStmt):
-            plan = self.compile_query(stmt.query)
-            lines = plan.op.explain().splitlines()
+            lines = self._explain_text(stmt.query).splitlines()
             return Result(["plan"], [(line,) for line in lines], len(lines))
         if isinstance(stmt, ast.BeginStmt):
             self.begin()
@@ -227,19 +239,91 @@ class Database:
         raise SQLError(f"unsupported statement {stmt!r}")
 
     def explain(self, sql: str) -> str:
-        """Return the physical plan of a query, as an indented tree."""
+        """Return the physical plan of a query, as an indented tree, plus the
+        current plan-cache counters."""
         statements = parse_statements(sql)
         if len(statements) != 1 or not isinstance(
             statements[0], (ast.SelectStmt, ast.SetOpStmt)
         ):
             raise SQLError("EXPLAIN supports a single query")
-        plan = self.compile_query(statements[0])
-        return plan.op.explain()
+        return self._explain_text(statements[0])
+
+    def _explain_text(self, query: ast.Query) -> str:
+        # Compile outside the cache: EXPLAIN must not disturb the counters
+        # it reports (the EXPLAIN statement and the explain() helper render
+        # identical text for the same query).
+        plan = self.compile_query(query, use_cache=False)
+        stats = self.plan_cache.stats()
+        lines = plan.op.explain().splitlines()
+        lines.append(
+            "plan cache: hits=%d misses=%d invalidations=%d entries=%d"
+            % (
+                stats["hits"],
+                stats["misses"],
+                stats["invalidations"],
+                stats["entries"],
+            )
+        )
+        return "\n".join(lines)
+
+    # -- prepared statements -------------------------------------------------------
+
+    def prepare(self, sql: str) -> "Prepared":
+        """Compile a statement once; re-execute it with new parameters.
+
+        ``?`` placeholders in the SQL text become positional parameters of
+        :meth:`Prepared.execute`.
+        """
+        statements = parse_statements(sql)
+        if len(statements) != 1:
+            raise SQLError("prepare() expects exactly one statement")
+        return Prepared(self, statements[0])
 
     # -- query compilation (shared with the XNF layer) ----------------------------
 
-    def compile_query(self, query: ast.Query) -> CompiledPlan:
-        """Full pipeline minus execution; records per-stage timings."""
+    def compile_query(self, query: ast.Query, use_cache: bool = True) -> CompiledPlan:
+        """Full pipeline minus execution; records per-stage timings.
+
+        With *use_cache* (the default) the statement is normalized — WHERE
+        constants lifted into a parameter vector — and looked up in the plan
+        cache; on a hit, build/rewrite/optimize are skipped entirely and the
+        cached closures are rebound to the statement's constants.
+        """
+        if use_cache and self.plan_cache.capacity > 0:
+            normalized = normalize_statement(query)
+            if normalized.n_explicit:
+                raise SQLError(
+                    "query contains ? parameters; use Database.prepare()"
+                )
+            plan = self._cached_plan(normalized)
+            plan.context.params[:] = normalized.lifted_values
+            return plan
+        return self._compile_statement(query)
+
+    def _cached_plan(self, normalized: NormalizedStatement) -> CompiledPlan:
+        """Look up (or compile and cache) the plan of a normalized query.
+
+        The caller binds ``plan.context.params`` before executing.
+        """
+        key = (normalized.fingerprint, self.enable_rewrite)
+        entry = self.plan_cache.lookup(key, self.catalog)
+        if entry is None:
+            plan = self._compile_statement(normalized.statement)
+            deps = referenced_objects(normalized.statement, self.catalog)
+            entry = CacheEntry(
+                plan,
+                list(normalized.lifted_values),
+                normalized.n_explicit,
+                {name: self.catalog.object_version(name) for name in deps},
+            )
+            self.plan_cache.store(key, entry)
+        else:
+            self.last_timings.update(
+                {"build_qgm": 0.0, "rewrite": 0.0, "optimize": 0.0}
+            )
+        return entry.plan
+
+    def _compile_statement(self, query: ast.Query) -> CompiledPlan:
         timings: Dict[str, float] = {}
         start = time.perf_counter()
         box = self.builder.build_query(query)
@@ -248,7 +332,7 @@ class Database:
         box = self._rewrite(box)
         timings["rewrite"] = time.perf_counter() - start
         start = time.perf_counter()
-        plan = Planner(self.catalog).plan_box(box)
+        plan = Planner(self.catalog).plan_statement(box)
         timings["optimize"] = time.perf_counter() - start
         self.last_timings.update(timings)
         return plan
@@ -256,7 +340,7 @@ class Database:
     def compile_box(self, box: Box) -> CompiledPlan:
         """Rewrite + optimize an externally-built QGM box (XNF path)."""
         box = self._rewrite(box)
-        return Planner(self.catalog).plan_box(box)
+        return Planner(self.catalog).plan_statement(box)
 
     def _rewrite(self, box: Box) -> Box:
         if not self.enable_rewrite:
@@ -273,9 +357,25 @@ class Database:
         self._end_of_statement()
         return Result(plan.columns, rows, len(rows))
 
+    def _execute_prepared_query(
+        self, normalized: NormalizedStatement, values: List[Any]
+    ) -> Result:
+        """Run a prepared query: cached plan + (explicit ++ lifted) params."""
+        for table in self._tables_of(normalized.statement):
+            self._lock(table, LockMode.SHARED)
+        plan = self._cached_plan(normalized)
+        plan.context.params[:] = values + list(normalized.lifted_values)
+        start = time.perf_counter()
+        rows = list(plan.rows())
+        self.last_timings["execute"] = time.perf_counter() - start
+        self._end_of_statement()
+        return Result(plan.columns, rows, len(rows))
+
     # -- DML ------------------------------------------------------------------
 
-    def _run_insert(self, stmt: ast.InsertStmt) -> Result:
+    def _run_insert(
+        self, stmt: ast.InsertStmt, params: Optional[List[Any]] = None
+    ) -> Result:
         table = self.catalog.get_table(stmt.table)
         self._lock(table.name, LockMode.EXCLUSIVE)
         if stmt.columns is not None:
@@ -286,8 +386,8 @@ class Database:
         if stmt.select is not None:
             incoming = list(self._run_query(stmt.select).rows)
         else:
-            planner = Planner(self.catalog)
-            compiler = ExprCompiler({}, planner.subplan_factory)
+            planner = Planner(self.catalog, PlanContext(list(params or [])))
+            compiler = planner.compiler({})
             for row_exprs in stmt.rows or []:
                 resolved = [
                     self.builder.resolve_standalone_predicate(e, "__none__", [])
@@ -309,13 +409,15 @@ class Database:
         self._end_of_statement()
         return Result(rowcount=count)
 
-    def _run_update(self, stmt: ast.UpdateStmt) -> Result:
+    def _run_update(
+        self, stmt: ast.UpdateStmt, params: Optional[List[Any]] = None
+    ) -> Result:
         table = self.catalog.get_table(stmt.table)
         self._lock(table.name, LockMode.EXCLUSIVE)
         columns = table.column_names()
         layout = {(table.name, col): pos + 1 for pos, col in enumerate(columns)}
-        planner = Planner(self.catalog)
-        compiler = ExprCompiler(layout, planner.subplan_factory)
+        planner = Planner(self.catalog, PlanContext(list(params or [])))
+        compiler = planner.compiler(layout)
         predicate = None
         if stmt.where is not None:
             resolved = self.builder.resolve_standalone_predicate(
@@ -345,13 +447,15 @@ class Database:
         self._end_of_statement()
         return Result(rowcount=len(pending))
 
-    def _run_delete(self, stmt: ast.DeleteStmt) -> Result:
+    def _run_delete(
+        self, stmt: ast.DeleteStmt, params: Optional[List[Any]] = None
+    ) -> Result:
         table = self.catalog.get_table(stmt.table)
         self._lock(table.name, LockMode.EXCLUSIVE)
         columns = table.column_names()
         layout = {(table.name, col): pos + 1 for pos, col in enumerate(columns)}
-        planner = Planner(self.catalog)
-        compiler = ExprCompiler(layout, planner.subplan_factory)
+        planner = Planner(self.catalog, PlanContext(list(params or [])))
+        compiler = planner.compiler(layout)
         predicate = None
         if stmt.where is not None:
             resolved = self.builder.resolve_standalone_predicate(
@@ -529,3 +633,55 @@ class Database:
     def reset_io_stats(self) -> None:
         self.disk.reset_stats()
         self.buffer_pool.reset_stats()
+
+
+class Prepared:
+    """A statement compiled once and re-executable with fresh parameters.
+
+    Obtained from :meth:`Database.prepare`.  For queries, the plan lives in
+    the database's plan cache: re-executions rebind the parameter vector into
+    the compiled closures without re-running parse/QGM/rewrite/optimize (the
+    cache hit counter proves it).  DDL and transaction-control statements are
+    executed as-is on each call.
+    """
+
+    def __init__(self, db: Database, stmt: ast.Statement):
+        self.db = db
+        self.statement = stmt
+        self._normalized: Optional[NormalizedStatement] = None
+        if isinstance(
+            stmt, (ast.SelectStmt, ast.SetOpStmt, ast.InsertStmt, ast.UpdateStmt, ast.DeleteStmt)
+        ):
+            self._normalized = normalize_statement(stmt)
+            self.n_params = self._normalized.n_explicit
+        else:
+            self.n_params = 0
+        # Compile queries eagerly so the first execute() is already a re-bind.
+        if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
+            self.db._cached_plan(self._normalized)
+
+    @property
+    def sql(self) -> str:
+        return self.statement.to_sql()
+
+    def execute(self, params: Sequence[Any] = ()) -> Result:
+        values = list(params)
+        if len(values) != self.n_params:
+            raise SQLError(
+                f"prepared statement expects {self.n_params} parameters, "
+                f"got {len(values)}"
+            )
+        stmt = self.statement
+        self.db.statements_executed += 1
+        if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
+            return self.db._execute_prepared_query(self._normalized, values)
+        full = values + list(self._normalized.lifted_values) if self._normalized else values
+        if isinstance(stmt, ast.InsertStmt):
+            return self.db._run_insert(stmt, params=full)
+        if isinstance(stmt, ast.UpdateStmt):
+            return self.db._run_update(stmt, params=full)
+        if isinstance(stmt, ast.DeleteStmt):
+            return self.db._run_delete(stmt, params=full)
+        if self.n_params:
+            raise SQLError("this statement kind does not accept parameters")
+        return self.db.execute_ast(stmt)

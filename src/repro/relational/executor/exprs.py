@@ -32,6 +32,29 @@ Layout = Dict[Tuple[str, str], int]
 CompiledExpr = Callable[[Tuple[Any, ...], List[Dict]], Any]
 
 
+class PlanContext:
+    """Shared mutable state of one compiled plan.
+
+    ``params`` is the bind-parameter vector: compiled ``Parameter`` closures
+    read slots of this list at evaluation time, so a cached plan is re-run
+    with new constants by assigning ``params[:]`` — no recompilation.
+
+    ``epoch`` is bumped once per top-level execution; the uncorrelated
+    subquery memos below key on it, so they are computed once per execution
+    but never leak results across executions of a cached plan (the
+    underlying data may have changed in between).
+    """
+
+    __slots__ = ("params", "epoch")
+
+    def __init__(self, params: Optional[List[Any]] = None):
+        self.params: List[Any] = params if params is not None else []
+        self.epoch = 0
+
+    def bump(self) -> None:
+        self.epoch += 1
+
+
 class ExprCompiler:
     """Compiles resolved expressions against a row layout.
 
@@ -47,10 +70,12 @@ class ExprCompiler:
         layout: Layout,
         subplan_factory: Optional[Callable[[Any], Any]] = None,
         precomputed: Optional[Dict[str, int]] = None,
+        context: Optional[PlanContext] = None,
     ):
         self.layout = layout
         self.subplan_factory = subplan_factory
         self.precomputed = precomputed or {}
+        self.context = context
 
     def compile(self, expr: ast.Expr) -> CompiledExpr:
         pre = self.precomputed.get(expr.to_sql())
@@ -60,6 +85,14 @@ class ExprCompiler:
         if isinstance(expr, ast.Literal):
             value = expr.value
             return lambda row, env: value
+        if isinstance(expr, ast.Parameter):
+            ctx = self.context
+            if ctx is None:
+                raise ExecutionError(
+                    f"bind parameter {expr.to_sql()} outside a prepared statement"
+                )
+            idx = expr.index
+            return lambda row, env: ctx.params[idx]
         if isinstance(expr, QGMColumnRef):
             key = (expr.quantifier, expr.column)
             if key not in self.layout:
@@ -184,28 +217,41 @@ class ExprCompiler:
             def sub_env(row, env):
                 return env
 
+        # Uncorrelated subqueries are memoized once per execution epoch: the
+        # memo survives the rows of one execution but is recomputed when a
+        # cached plan is re-run (its data may have changed in between).
+        ctx = self.context
+
+        def memo_valid(memo: Dict[str, Any]) -> bool:
+            epoch = ctx.epoch if ctx is not None else 0
+            return memo.get("epoch") == epoch and "value" in memo
+
+        def memo_store(memo: Dict[str, Any], value: Any) -> None:
+            memo["epoch"] = ctx.epoch if ctx is not None else 0
+            memo["value"] = value
+
         if expr.kind == "EXISTS":
-            cache: Dict[str, bool] = {}
+            cache: Dict[str, Any] = {}
 
             def run_exists(row, env):
-                if not correlated and "value" in cache:
+                if not correlated and memo_valid(cache):
                     found = cache["value"]
                 else:
                     found = any(True for _ in subplan.rows(sub_env(row, env)))
                     if not correlated:
-                        cache["value"] = found
+                        memo_store(cache, found)
                 return (not found) if negated else found
 
             return run_exists
         if expr.kind == "IN":
             operand = self.compile(expr.operand)
-            cache: Dict[str, Tuple[set, bool]] = {}
+            cache: Dict[str, Any] = {}
 
             def run_in(row, env):
                 value = operand(row, env)
                 if value is None:
                     return None
-                if not correlated and "value" in cache:
+                if not correlated and memo_valid(cache):
                     values, has_null = cache["value"]
                 else:
                     values = set()
@@ -216,7 +262,7 @@ class ExprCompiler:
                         else:
                             values.add(sub_row[0])
                     if not correlated:
-                        cache["value"] = (values, has_null)
+                        memo_store(cache, (values, has_null))
                 if value in values:
                     result: Optional[bool] = True
                 elif has_null:
@@ -230,7 +276,7 @@ class ExprCompiler:
             cache: Dict[str, Any] = {}
 
             def run_scalar(row, env):
-                if not correlated and "value" in cache:
+                if not correlated and memo_valid(cache):
                     return cache["value"]
                 result = None
                 seen = False
@@ -240,7 +286,7 @@ class ExprCompiler:
                     result = sub_row[0]
                     seen = True
                 if not correlated:
-                    cache["value"] = result
+                    memo_store(cache, result)
                 return result
 
             return run_scalar

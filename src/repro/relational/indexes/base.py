@@ -98,5 +98,8 @@ class Index:
     def _delete(self, key: Key, rid: RID) -> None:
         raise NotImplementedError
 
+    def clear(self) -> None:
+        raise NotImplementedError
+
     def __len__(self) -> int:
         raise NotImplementedError

@@ -131,6 +131,10 @@ class BTreeIndex(Index):
                     leaf.keys.pop(pos)
                     leaf.values.pop(pos)
 
+    def clear(self) -> None:
+        self._root = _Leaf()
+        self._size = 0
+
     def __len__(self) -> int:
         return self._size
 

@@ -35,6 +35,10 @@ class HashIndex(Index):
             if not bucket:
                 del self._buckets[key]
 
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._size = 0
+
     def __len__(self) -> int:
         return self._size
 

@@ -22,7 +22,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ExecutionError
 from repro.relational.catalog import Catalog, Table
-from repro.relational.executor.exprs import ExprCompiler, Layout
+from repro.relational.executor.exprs import ExprCompiler, Layout, PlanContext
 from repro.relational.executor.operators import (
     AggSpec,
     Distinct,
@@ -74,12 +74,22 @@ _INDEX_PROBE_COST = 1.5
 
 @dataclass
 class CompiledPlan:
-    """A runnable plan plus its output column names."""
+    """A runnable plan plus its output column names.
+
+    ``context`` is set on statement-level plans (the roots handed to the
+    engine): it carries the bind-parameter vector and the execution epoch.
+    Each ``rows()`` call on such a plan starts a new epoch, so per-execution
+    subquery memos never serve stale results when the plan is cached and
+    re-run later.
+    """
 
     op: PlanOp
     columns: List[str]
+    context: Optional[PlanContext] = None
 
     def rows(self, env: Optional[list] = None):
+        if self.context is not None:
+            self.context.bump()
         return self.op.rows(env if env is not None else [])
 
 
@@ -115,11 +125,19 @@ class _QuantInfo:
 class Planner:
     """Compiles QGM box trees into executable plans."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, context: Optional[PlanContext] = None):
         self.catalog = catalog
+        self.context = context if context is not None else PlanContext()
         self._subplan_cache: Dict[int, PlanOp] = {}
 
     # -- public API -----------------------------------------------------------
+
+    def plan_statement(self, box: Box) -> CompiledPlan:
+        """Plan a statement root: the returned plan owns this planner's
+        context (parameter vector + execution epoch)."""
+        plan = self.plan_box(box)
+        plan.context = self.context
+        return plan
 
     def plan_box(self, box: Box) -> CompiledPlan:
         if isinstance(box, SelectBox):
@@ -150,7 +168,7 @@ class Planner:
         return cached
 
     def compiler(self, layout: Layout, precomputed: Optional[Dict[str, int]] = None) -> ExprCompiler:
-        return ExprCompiler(layout, self.subplan_factory, precomputed)
+        return ExprCompiler(layout, self.subplan_factory, precomputed, self.context)
 
     # -- SELECT boxes -------------------------------------------------------------
 

@@ -61,7 +61,7 @@ def _single_column(pred: ast.BinaryOp) -> Optional[str]:
     """Column name when the predicate is col <op> constant-ish."""
     for side, other in ((pred.left, pred.right), (pred.right, pred.left)):
         if isinstance(side, QGMColumnRef) and isinstance(
-            other, (ast.Literal, OuterRef)
+            other, (ast.Literal, ast.Parameter, OuterRef)
         ):
             return side.column
     return None

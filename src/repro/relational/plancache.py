@@ -1,0 +1,470 @@
+"""Prepared-plan cache: AST normalization, fingerprints, LRU plan reuse.
+
+The paper's architecture (section 4.3, Fig. 7/8) translates an XNF query
+*once* into a set of SQL queries that are then executed many times — per
+fixpoint round, per navigation, per refresh.  This module supplies the
+engine-side machinery that makes the "once" real:
+
+* :func:`normalize_statement` canonicalizes a statement by lifting the
+  literal constants of its WHERE clauses (and JOIN conditions) into a
+  parameter vector, so ``WHERE pid = 17`` and ``WHERE pid = 99`` share one
+  cache key.  Literals in SELECT lists, GROUP BY, HAVING and ORDER BY are
+  left in place — those clauses carry positional/textual matching semantics
+  (``ORDER BY 2`` is a column position) and their constants rarely vary
+  between repetitions of a hot statement.
+* :func:`referenced_objects` extracts the tables and views a statement
+  depends on, recursing through derived tables, subqueries and view bodies.
+* :class:`PlanCache` is a bounded LRU keyed on the normalized SQL text (plus
+  the engine's rewrite flag).  Entries record the catalog version of every
+  referenced object at compile time; a later mismatch — caused by CREATE /
+  DROP / ALTER-equivalent index changes / ANALYZE — invalidates the entry
+  lazily at lookup.
+
+Aggregate counters are also mirrored module-globally so the benchmark
+harness can report hit rates across many Database instances.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.relational.catalog import Catalog
+from repro.relational.sql import ast
+
+#: Default number of cached plans per Database.
+DEFAULT_CAPACITY = 256
+
+#: Process-wide aggregate counters (all PlanCache instances), for benchmarks.
+GLOBAL_STATS: Dict[str, int] = {
+    "hits": 0,
+    "misses": 0,
+    "invalidations": 0,
+    "evictions": 0,
+}
+
+
+def reset_global_stats() -> None:
+    for key in GLOBAL_STATS:
+        GLOBAL_STATS[key] = 0
+
+
+def snapshot_global_stats() -> Dict[str, int]:
+    return dict(GLOBAL_STATS)
+
+
+# ===========================================================================
+# Normalization: lift WHERE-clause literals into a parameter vector
+# ===========================================================================
+
+
+@dataclass
+class NormalizedStatement:
+    """A statement with its constants lifted out.
+
+    ``statement`` contains :class:`ast.Parameter` nodes: indexes
+    ``0 .. n_explicit-1`` are the user's own ``?`` placeholders, indexes
+    ``n_explicit ..`` hold the lifted literals whose values are in
+    ``lifted_values``.  The full bind vector of an execution is
+    ``list(user_values) + lifted_values``.
+    """
+
+    statement: ast.Statement
+    lifted_values: List[Any]
+    n_explicit: int
+
+    @property
+    def fingerprint(self) -> str:
+        return self.statement.to_sql()
+
+
+class _Lifter:
+    """One normalization pass; assigns parameter slots after the explicit ones."""
+
+    def __init__(self, n_explicit: int):
+        self.next_index = n_explicit
+        self.values: List[Any] = []
+
+    def lift(self, value: Any) -> ast.Parameter:
+        param = ast.Parameter(self.next_index)
+        self.next_index += 1
+        self.values.append(value)
+        return param
+
+
+def count_explicit_parameters(stmt: ast.Statement) -> int:
+    """Highest explicit ``?`` ordinal + 1 (0 when the statement has none)."""
+    highest = -1
+
+    def visit_expr(expr: Optional[ast.Expr]) -> None:
+        nonlocal highest
+        if expr is None:
+            return
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.Parameter):
+                highest = max(highest, node.index)
+            elif isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+                visit_query(node.subquery)
+
+    def visit_table_ref(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.DerivedTable):
+            visit_query(ref.subquery)
+        elif isinstance(ref, ast.Join):
+            visit_table_ref(ref.left)
+            visit_table_ref(ref.right)
+            visit_expr(ref.condition)
+
+    def visit_query(q: ast.Query) -> None:
+        if isinstance(q, ast.SetOpStmt):
+            visit_query(q.left)
+            visit_query(q.right)
+            return
+        for item in q.select_items:
+            visit_expr(item.expr)
+        for ref in q.from_tables:
+            visit_table_ref(ref)
+        visit_expr(q.where)
+        for key in q.group_by:
+            visit_expr(key)
+        visit_expr(q.having)
+        for order in q.order_by:
+            visit_expr(order.expr)
+
+    if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
+        visit_query(stmt)
+    elif isinstance(stmt, ast.InsertStmt):
+        for row in stmt.rows or []:
+            for expr in row:
+                visit_expr(expr)
+        if stmt.select is not None:
+            visit_query(stmt.select)
+    elif isinstance(stmt, ast.UpdateStmt):
+        for _, expr in stmt.assignments:
+            visit_expr(expr)
+        visit_expr(stmt.where)
+    elif isinstance(stmt, ast.DeleteStmt):
+        visit_expr(stmt.where)
+    return highest + 1
+
+
+def normalize_statement(stmt: ast.Statement) -> NormalizedStatement:
+    """Lift WHERE/JOIN literals of a query or DML statement into parameters.
+
+    The input is not mutated; unaffected sub-trees are shared with the copy.
+    Statements that are neither queries nor DML are returned unchanged.
+    """
+    n_explicit = count_explicit_parameters(stmt)
+    lifter = _Lifter(n_explicit)
+    if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
+        normalized: ast.Statement = _norm_query(stmt, lifter)
+    elif isinstance(stmt, ast.UpdateStmt):
+        normalized = ast.UpdateStmt(
+            stmt.table,
+            stmt.assignments,
+            _norm_pred(stmt.where, lifter),
+        )
+    elif isinstance(stmt, ast.DeleteStmt):
+        normalized = ast.DeleteStmt(stmt.table, _norm_pred(stmt.where, lifter))
+    elif isinstance(stmt, ast.InsertStmt) and stmt.select is not None:
+        normalized = ast.InsertStmt(
+            stmt.table, stmt.columns, select=_norm_query(stmt.select, lifter)
+        )
+    else:
+        normalized = stmt
+    return NormalizedStatement(normalized, lifter.values, n_explicit)
+
+
+def _norm_query(q: ast.Query, lifter: _Lifter) -> ast.Query:
+    if isinstance(q, ast.SetOpStmt):
+        return ast.SetOpStmt(
+            q.op,
+            q.all,
+            _norm_query(q.left, lifter),
+            _norm_query(q.right, lifter),
+            order_by=q.order_by,
+            limit=q.limit,
+            offset=q.offset,
+        )
+    return ast.SelectStmt(
+        select_items=[
+            ast.SelectItem(_norm_subqueries_only(item.expr, lifter), item.alias)
+            for item in q.select_items
+        ],
+        from_tables=[_norm_table_ref(ref, lifter) for ref in q.from_tables],
+        where=_norm_pred(q.where, lifter),
+        group_by=q.group_by,
+        having=q.having,
+        order_by=q.order_by,
+        limit=q.limit,
+        offset=q.offset,
+        distinct=q.distinct,
+    )
+
+
+def _norm_table_ref(ref: ast.TableRef, lifter: _Lifter) -> ast.TableRef:
+    if isinstance(ref, ast.DerivedTable):
+        return ast.DerivedTable(_norm_query(ref.subquery, lifter), ref.alias)
+    if isinstance(ref, ast.Join):
+        return ast.Join(
+            ref.kind,
+            _norm_table_ref(ref.left, lifter),
+            _norm_table_ref(ref.right, lifter),
+            _norm_pred(ref.condition, lifter),
+        )
+    return ref
+
+
+def _norm_pred(expr: Optional[ast.Expr], lifter: _Lifter) -> Optional[ast.Expr]:
+    """Normalize a WHERE-position expression: literals become parameters."""
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Literal):
+        # NULL keeps its identity: IS NULL / three-valued folding treats it
+        # specially and NULL constants never vary between hot repetitions.
+        if expr.value is None:
+            return expr
+        return lifter.lift(expr.value)
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _norm_pred(expr.left, lifter),
+            _norm_pred(expr.right, lifter),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _norm_pred(expr.operand, lifter))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(_norm_pred(expr.operand, lifter), expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(
+            _norm_pred(expr.operand, lifter),
+            _norm_pred(expr.low, lifter),
+            _norm_pred(expr.high, lifter),
+            expr.negated,
+        )
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            _norm_pred(expr.operand, lifter),
+            [_norm_pred(item, lifter) for item in expr.items],
+            expr.negated,
+        )
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(
+            _norm_pred(expr.operand, lifter),
+            _norm_query(expr.subquery, lifter),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Exists):
+        return ast.Exists(_norm_query(expr.subquery, lifter), expr.negated)
+    if isinstance(expr, ast.ScalarSubquery):
+        return ast.ScalarSubquery(_norm_query(expr.subquery, lifter))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            [_norm_pred(arg, lifter) for arg in expr.args],
+            distinct=expr.distinct,
+            star=expr.star,
+        )
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            [
+                (_norm_pred(cond, lifter), _norm_pred(result, lifter))
+                for cond, result in expr.whens
+            ],
+            (
+                _norm_pred(expr.else_result, lifter)
+                if expr.else_result is not None
+                else None
+            ),
+        )
+    # ColumnRef, Parameter, Star, and any resolved QGM nodes pass through.
+    return expr
+
+
+def _norm_subqueries_only(expr: ast.Expr, lifter: _Lifter) -> ast.Expr:
+    """In SELECT-list position, literals stay (textual GROUP BY matching)
+    but subqueries nested inside still get their WHERE clauses normalized."""
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(
+            _norm_subqueries_only(expr.operand, lifter),
+            _norm_query(expr.subquery, lifter),
+            expr.negated,
+        )
+    if isinstance(expr, ast.Exists):
+        return ast.Exists(_norm_query(expr.subquery, lifter), expr.negated)
+    if isinstance(expr, ast.ScalarSubquery):
+        return ast.ScalarSubquery(_norm_query(expr.subquery, lifter))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _norm_subqueries_only(expr.left, lifter),
+            _norm_subqueries_only(expr.right, lifter),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _norm_subqueries_only(expr.operand, lifter))
+    if isinstance(expr, ast.FuncCall):
+        return ast.FuncCall(
+            expr.name,
+            [_norm_subqueries_only(arg, lifter) for arg in expr.args],
+            distinct=expr.distinct,
+            star=expr.star,
+        )
+    if isinstance(expr, ast.Case):
+        return ast.Case(
+            [
+                (
+                    _norm_subqueries_only(cond, lifter),
+                    _norm_subqueries_only(result, lifter),
+                )
+                for cond, result in expr.whens
+            ],
+            (
+                _norm_subqueries_only(expr.else_result, lifter)
+                if expr.else_result is not None
+                else None
+            ),
+        )
+    return expr
+
+
+# ===========================================================================
+# Dependency extraction
+# ===========================================================================
+
+
+def referenced_objects(stmt: ast.Statement, catalog: Catalog) -> List[str]:
+    """Upper-cased names of every table and view *stmt* depends on,
+    including the base tables under referenced views."""
+    names: List[str] = []
+    seen: set = set()
+
+    def add(name: str) -> None:
+        key = name.upper()
+        if key in seen:
+            return
+        seen.add(key)
+        names.append(key)
+        view = catalog.get_view(key)
+        if view is not None:
+            visit_query(view.body)
+
+    def visit_expr(expr: Optional[ast.Expr]) -> None:
+        if expr is None:
+            return
+        for node in ast.walk_expr(expr):
+            if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+                visit_query(node.subquery)
+
+    def visit_table_ref(ref: ast.TableRef) -> None:
+        if isinstance(ref, ast.NamedTable):
+            add(ref.name)
+        elif isinstance(ref, ast.DerivedTable):
+            visit_query(ref.subquery)
+        elif isinstance(ref, ast.Join):
+            visit_table_ref(ref.left)
+            visit_table_ref(ref.right)
+            visit_expr(ref.condition)
+
+    def visit_query(q: ast.Query) -> None:
+        if isinstance(q, ast.SetOpStmt):
+            visit_query(q.left)
+            visit_query(q.right)
+            return
+        for item in q.select_items:
+            visit_expr(item.expr)
+        for ref in q.from_tables:
+            visit_table_ref(ref)
+        visit_expr(q.where)
+        for key in q.group_by:
+            visit_expr(key)
+        visit_expr(q.having)
+
+    if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
+        visit_query(stmt)
+    elif isinstance(stmt, ast.InsertStmt):
+        add(stmt.table)
+        if stmt.select is not None:
+            visit_query(stmt.select)
+    elif isinstance(stmt, (ast.UpdateStmt, ast.DeleteStmt)):
+        add(stmt.table)
+        visit_expr(stmt.where)
+    return names
+
+
+# ===========================================================================
+# The cache
+# ===========================================================================
+
+
+@dataclass
+class CacheEntry:
+    plan: Any  # CompiledPlan (typed Any to avoid an import cycle)
+    lifted_values: List[Any]
+    n_explicit: int
+    dependencies: Dict[str, int] = field(default_factory=dict)
+
+
+CacheKey = Tuple[str, bool]  # (normalized SQL text, enable_rewrite)
+
+
+class PlanCache:
+    """Bounded LRU of compiled plans with lazy catalog-version validation."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: CacheKey, catalog: Catalog) -> Optional[CacheEntry]:
+        """Return a still-valid entry for *key*, counting hit or miss.
+
+        An entry is stale when any referenced object was re-created, dropped,
+        index-altered or re-analyzed since compile time; stale entries are
+        evicted here (lazy invalidation) and counted as invalidations.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            for name, version in entry.dependencies.items():
+                if (
+                    catalog.object_version(name) != version
+                    or not (catalog.has_table(name) or catalog.get_view(name))
+                ):
+                    del self._entries[key]
+                    self.invalidations += 1
+                    GLOBAL_STATS["invalidations"] += 1
+                    entry = None
+                    break
+        if entry is None:
+            self.misses += 1
+            GLOBAL_STATS["misses"] += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        GLOBAL_STATS["hits"] += 1
+        return entry
+
+    def store(self, key: CacheKey, entry: CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            GLOBAL_STATS["evictions"] += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }

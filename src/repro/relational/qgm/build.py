@@ -400,7 +400,7 @@ class QGMBuilder:
     # -- expression resolution -------------------------------------------------------
 
     def _resolve_expr(self, expr: ast.Expr, scope: Optional[_Scope]) -> ast.Expr:
-        if isinstance(expr, ast.Literal):
+        if isinstance(expr, (ast.Literal, ast.Parameter)):
             return expr
         if isinstance(expr, ast.ColumnRef):
             if scope is None:
@@ -524,7 +524,7 @@ def _remap_to_quantifier(
                 f"column {expr.to_sql()} not available after grouping"
             )
         return QGMColumnRef(quantifier, flat)
-    if isinstance(expr, (ast.Literal, OuterRef, SubqueryExpr)):
+    if isinstance(expr, (ast.Literal, ast.Parameter, OuterRef, SubqueryExpr)):
         return expr
     if isinstance(expr, ast.BinaryOp):
         return ast.BinaryOp(

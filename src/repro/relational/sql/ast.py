@@ -41,6 +41,22 @@ class Literal(Expr):
 
 
 @dataclass
+class Parameter(Expr):
+    """A bind parameter: ``?`` in SQL text, or a literal lifted out of a
+    statement by the plan-cache normalizer.
+
+    At execution time the compiled plan reads slot ``index`` of its
+    parameter vector, so structurally identical statements that differ only
+    in constants share one compiled plan.
+    """
+
+    index: int
+
+    def to_sql(self) -> str:
+        return f"?{self.index}"
+
+
+@dataclass
 class ColumnRef(Expr):
     table: Optional[str]
     column: str

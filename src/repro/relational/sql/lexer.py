@@ -23,7 +23,7 @@ EOF = "EOF"
 
 #: multi-character operators, longest first
 _MULTI_OPS = ["->", "<=", ">=", "<>", "!=", "||"]
-_SINGLE_OPS = set("+-*/%(),.;=<>[]")
+_SINGLE_OPS = set("+-*/%(),.;=<>[]?")
 
 
 @dataclass(frozen=True)

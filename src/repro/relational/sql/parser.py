@@ -51,6 +51,7 @@ class SQLParser:
         self.source = source
         self.toks = tokenize(source, hyphen_idents=self.hyphen_idents)
         self.pos = 0
+        self._param_count = 0  # ordinal for ? placeholders, per batch
 
     # -- token helpers -------------------------------------------------------
 
@@ -436,6 +437,11 @@ class SQLParser:
         if tok.kind == STRING:
             self.advance()
             return ast.Literal(tok.text)
+        if tok.kind == OP and tok.text == "?":
+            self.advance()
+            param = ast.Parameter(self._param_count)
+            self._param_count += 1
+            return param
         if tok.kind == OP and tok.text == "(":
             self.advance()
             if self.at_keyword("SELECT") or (

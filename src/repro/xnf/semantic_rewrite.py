@@ -33,8 +33,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import XNFError
-from repro.relational.catalog import Column
+from repro.errors import CatalogError, TypeCheckError, XNFError
+from repro.relational.catalog import Column, Table
 from repro.relational.engine import Database
 from repro.relational.sql import ast as sql_ast
 from repro.relational.types import BOOLEAN, FLOAT, INTEGER, SQLType, VARCHAR
@@ -89,7 +89,11 @@ class XNFCompiler:
         self.db = db
         self.reuse_common = reuse_common
         self.semi_naive = semi_naive
-        self._temp_tables: List[str] = []
+        #: scratch worktables currently attached to the catalog (name -> Table)
+        self._attached: Dict[str, Table] = {}
+        #: uniquely-named fallback tables (name collided with a user object);
+        #: these are dropped, not pooled, on release
+        self._fallback: set = set()
         self.stats = InstantiationStats()
 
     # -- public ------------------------------------------------------------------
@@ -100,7 +104,7 @@ class XNFCompiler:
         try:
             return self._instantiate(schema)
         finally:
-            self._drop_temp_tables()
+            self._release_temp_tables()
 
     # -- candidate sets ------------------------------------------------------------
 
@@ -243,7 +247,6 @@ class XNFCompiler:
             result = self.db.execute_ast(query)
             self.stats.queries_issued += 1
             derived.setdefault(child_name, []).extend(result.rows)
-        self._drop_one(delta_table)
         return derived
 
     def _derive_connections(
@@ -331,31 +334,81 @@ class XNFCompiler:
         return table
 
     # -- temp-table plumbing ----------------------------------------------------------
+    #
+    # Worktables get *stable* names (XNF_DELTA_<node>, XNF_CAND_<node>,
+    # XNF_REACH_<node>) so that the generated per-round / per-refresh SQL has
+    # an identical fingerprint every time and re-hits the engine's plan
+    # cache.  The Table objects themselves are recycled: refills go through
+    # ``Table.truncate()`` (no catalog version bump — compiled plans bind the
+    # Table object and stay valid) and, between instantiations, the tables
+    # are parked in ``Database.scratch_tables`` via ``detach_scratch`` /
+    # ``attach_scratch`` so the catalog looks clean while extractions are
+    # not running.
 
     def _materialize(
         self, prefix: str, columns: Sequence[str], rows: List[Row]
     ) -> str:
-        name = f"XNF_{prefix}_{next(_temp_ids)}".upper()
+        name = f"XNF_{prefix}".upper()
+        table = self._acquire_scratch(name, columns, rows)
+        self.stats.temp_tables_created += 1
+        return table.name
+
+    def _acquire_scratch(
+        self, name: str, columns: Sequence[str], rows: List[Row]
+    ) -> Table:
+        catalog = self.db.catalog
+        table = self._attached.get(name)
+        if table is None:
+            pooled = self.db.scratch_tables.get(name)
+            if pooled is not None and not catalog.has_table(name):
+                del self.db.scratch_tables[name]
+                catalog.attach_scratch(pooled)
+                table = self._attached[name] = pooled
+        if table is not None:
+            same_layout = [c.upper() for c in table.column_names()] == [
+                str(c).upper() for c in columns
+            ]
+            if same_layout:
+                try:
+                    table.truncate()
+                    for row in rows:
+                        table.insert(row)
+                    return table
+                except TypeCheckError:
+                    pass  # column types drifted; rebuild below
+            # Layout changed: rebuild under the same name.  drop_table bumps
+            # the catalog version, correctly invalidating plans compiled
+            # against the old layout.
+            self._attached.pop(name, None)
+            catalog.drop_table(name, if_exists=True)
         column_defs = [
             Column(col, _infer_type(rows, pos), nullable=True)
             for pos, col in enumerate(columns)
         ]
-        table = self.db.catalog.create_table(name, column_defs)
+        try:
+            table = catalog.create_table(name, column_defs)
+        except CatalogError:
+            # The stable name collides with a user table/view: fall back to a
+            # uniquified throwaway (dropped, not pooled, on release).
+            name = f"{name}_{next(_temp_ids)}"
+            table = catalog.create_table(name, column_defs)
+            self._fallback.add(name)
         for row in rows:
             table.insert(row)
-        self._temp_tables.append(name)
-        self.stats.temp_tables_created += 1
-        return name
+        self._attached[name] = table
+        return table
 
-    def _drop_one(self, name: str) -> None:
-        self.db.catalog.drop_table(name, if_exists=True)
-        if name in self._temp_tables:
-            self._temp_tables.remove(name)
-
-    def _drop_temp_tables(self) -> None:
-        for name in self._temp_tables:
-            self.db.catalog.drop_table(name, if_exists=True)
-        self._temp_tables.clear()
+    def _release_temp_tables(self) -> None:
+        for name, table in list(self._attached.items()):
+            if name in self._fallback:
+                self.db.catalog.drop_table(name, if_exists=True)
+            else:
+                detached = self.db.catalog.detach_scratch(name)
+                if detached is not None:
+                    detached.truncate()
+                    self.db.scratch_tables[name] = detached
+        self._attached.clear()
+        self._fallback.clear()
 
 
 def instantiate(
@@ -366,12 +419,7 @@ def instantiate(
 ) -> COInstance:
     """Instantiate *schema* against *db*; see :class:`XNFCompiler`."""
     compiler = XNFCompiler(db, reuse_common=reuse_common, semi_naive=semi_naive)
-    compiler._current_schema = schema
-    try:
-        schema.validate()
-        return compiler._instantiate(schema)
-    finally:
-        compiler._drop_temp_tables()
+    return compiler.instantiate(schema)
 
 
 def _infer_type(rows: List[Row], position: int) -> SQLType:

@@ -1,0 +1,247 @@
+"""Plan cache and prepared statements.
+
+The compile-once subsystem: statement normalization (WHERE constants lift
+into a parameter vector), the LRU cache keyed on (fingerprint, rewrite
+flag) with per-object catalog-version dependencies, and the
+``Database.prepare`` API whose re-executions must skip planning entirely
+(proved by the hit counter).
+"""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.relational.engine import Database
+from repro.relational.plancache import normalize_statement
+from repro.relational.sql import ast
+from repro.relational.sql.parser import parse_statements
+
+
+@pytest.fixture
+def tdb():
+    db = Database()
+    db.execute("CREATE TABLE T (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)")
+    db.execute(
+        "INSERT INTO T VALUES (1, 1, 10), (2, 1, 20), (3, 2, 30), (4, 2, 40)"
+    )
+    return db
+
+
+def _one(sql):
+    (stmt,) = parse_statements(sql)
+    return stmt
+
+
+class TestNormalization:
+    def test_where_literals_lifted(self):
+        norm = normalize_statement(_one("SELECT val FROM T WHERE id = 3"))
+        assert norm.lifted_values == [3]
+        assert "?" in norm.fingerprint
+        assert "3" not in norm.fingerprint.split("WHERE")[1]
+
+    def test_same_shape_same_fingerprint(self):
+        a = normalize_statement(_one("SELECT val FROM T WHERE id = 3"))
+        b = normalize_statement(_one("SELECT val FROM T WHERE id = 7"))
+        assert a.fingerprint == b.fingerprint
+        assert a.lifted_values == [3] and b.lifted_values == [7]
+
+    def test_group_order_literals_kept(self):
+        # GROUP BY / ORDER BY have textual/positional matching semantics;
+        # their literals must never be parameterized.
+        norm = normalize_statement(
+            _one("SELECT grp, COUNT(*) FROM T GROUP BY grp ORDER BY 1")
+        )
+        assert norm.lifted_values == []
+
+    def test_explicit_params_precede_lifted(self):
+        norm = normalize_statement(
+            _one("SELECT val FROM T WHERE grp = ? AND val > 15")
+        )
+        assert norm.n_explicit == 1
+        assert norm.lifted_values == [15]
+
+    def test_null_literal_not_lifted(self):
+        norm = normalize_statement(_one("SELECT val FROM T WHERE grp IS NULL"))
+        assert norm.lifted_values == []
+
+
+class TestTransparentCaching:
+    def test_repeated_query_hits(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        before = tdb.plan_cache.stats()
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        after = tdb.plan_cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_different_constants_share_one_plan(self, tdb):
+        assert tdb.execute("SELECT val FROM T WHERE id = 1").scalar() == 10
+        entries = tdb.plan_cache.stats()["entries"]
+        assert tdb.execute("SELECT val FROM T WHERE id = 4").scalar() == 40
+        assert tdb.plan_cache.stats()["entries"] == entries
+        assert tdb.plan_cache.stats()["hits"] >= 1
+
+    def test_cache_hit_skips_pipeline_stages(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE id = 2")
+        tdb.execute("SELECT val FROM T WHERE id = 3")
+        assert tdb.last_timings["build_qgm"] == 0.0
+        assert tdb.last_timings["rewrite"] == 0.0
+        assert tdb.last_timings["optimize"] == 0.0
+
+    def test_rewrite_flag_partitions_cache(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        entries = tdb.plan_cache.stats()["entries"]
+        tdb.enable_rewrite = False
+        try:
+            tdb.execute("SELECT val FROM T WHERE id = 1")
+        finally:
+            tdb.enable_rewrite = True
+        assert tdb.plan_cache.stats()["entries"] == entries + 1
+
+    def test_lru_eviction(self):
+        db = Database(plan_cache_capacity=2)
+        db.execute("CREATE TABLE T (a INTEGER)")
+        db.execute("INSERT INTO T VALUES (1)")
+        db.execute("SELECT a FROM T")
+        db.execute("SELECT a + 1 FROM T")
+        db.execute("SELECT a + 2 FROM T")
+        stats = db.plan_cache.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] >= 1
+
+    def test_zero_capacity_disables_cache(self, tdb):
+        db = Database(plan_cache_capacity=0)
+        db.execute("CREATE TABLE T (a INTEGER)")
+        db.execute("INSERT INTO T VALUES (1)")
+        assert db.execute("SELECT a FROM T").scalar() == 1
+        assert db.plan_cache.stats()["entries"] == 0
+
+    def test_results_identical_with_and_without_cache(self, tdb):
+        queries = [
+            "SELECT val FROM T WHERE grp = 2",
+            "SELECT grp, SUM(val) FROM T GROUP BY grp ORDER BY grp",
+            "SELECT val FROM T WHERE id IN (1, 3) ORDER BY val",
+        ]
+        cold = Database(plan_cache_capacity=0)
+        cold.execute(
+            "CREATE TABLE T (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)"
+        )
+        cold.execute(
+            "INSERT INTO T VALUES (1, 1, 10), (2, 1, 20), (3, 2, 30), (4, 2, 40)"
+        )
+        for sql in queries:
+            for _ in range(2):  # second run exercises the cached plan
+                assert tdb.execute(sql).rows == cold.execute(sql).rows
+
+
+class TestInvalidation:
+    def test_drop_table_invalidates(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        tdb.execute("DROP TABLE T")
+        tdb.execute("CREATE TABLE T (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)")
+        tdb.execute("INSERT INTO T VALUES (9, 9, 90)")
+        before = tdb.plan_cache.stats()
+        assert tdb.execute("SELECT val FROM T WHERE id = 9").scalar() == 90
+        after = tdb.plan_cache.stats()
+        assert after["invalidations"] == before["invalidations"] + 1
+        assert after["misses"] == before["misses"] + 1
+
+    def test_create_index_invalidates(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE grp = 1")
+        before = tdb.plan_cache.stats()
+        tdb.execute("CREATE INDEX ig ON T (grp)")
+        tdb.execute("SELECT val FROM T WHERE grp = 1")
+        after = tdb.plan_cache.stats()
+        assert after["invalidations"] == before["invalidations"] + 1
+
+    def test_analyze_invalidates(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE grp = 1")
+        before = tdb.plan_cache.stats()
+        tdb.execute("ANALYZE")
+        tdb.execute("SELECT val FROM T WHERE grp = 1")
+        after = tdb.plan_cache.stats()
+        assert after["invalidations"] == before["invalidations"] + 1
+
+    def test_unrelated_ddl_does_not_invalidate(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        tdb.execute("CREATE TABLE OTHER (x INTEGER)")
+        before = tdb.plan_cache.stats()
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        after = tdb.plan_cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        assert after["invalidations"] == before["invalidations"]
+
+
+class TestPrepared:
+    def test_re_execution_skips_planning(self, tdb):
+        prepared = tdb.prepare("SELECT val FROM T WHERE id = ?")
+        stats = tdb.plan_cache.stats()
+        results = [prepared.execute([pid]).scalar() for pid in (1, 2, 3, 4)]
+        assert results == [10, 20, 30, 40]
+        after = tdb.plan_cache.stats()
+        # every execution is a pure cache hit: zero additional compilations
+        assert after["misses"] == stats["misses"]
+        assert after["hits"] == stats["hits"] + 4
+
+    def test_prepared_shares_plan_with_literal_query(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE id = 2")
+        entries = tdb.plan_cache.stats()["entries"]
+        prepared = tdb.prepare("SELECT val FROM T WHERE id = ?")
+        assert prepared.execute([2]).scalar() == 20
+        assert tdb.plan_cache.stats()["entries"] == entries
+
+    def test_wrong_arity_rejected(self, tdb):
+        prepared = tdb.prepare("SELECT val FROM T WHERE id = ?")
+        with pytest.raises(SQLError):
+            prepared.execute([])
+        with pytest.raises(SQLError):
+            prepared.execute([1, 2])
+
+    def test_raw_execute_of_placeholder_rejected(self, tdb):
+        with pytest.raises(SQLError):
+            tdb.execute("SELECT val FROM T WHERE id = ?")
+
+    def test_prepared_dml(self, tdb):
+        ins = tdb.prepare("INSERT INTO T VALUES (?, ?, ?)")
+        ins.execute([5, 3, 50])
+        ins.execute([6, 3, 60])
+        assert tdb.execute("SELECT COUNT(*) FROM T WHERE grp = 3").scalar() == 2
+        upd = tdb.prepare("UPDATE T SET val = ? WHERE id = ?")
+        upd.execute([99, 5])
+        assert tdb.execute("SELECT val FROM T WHERE id = 5").scalar() == 99
+        dele = tdb.prepare("DELETE FROM T WHERE grp = ?")
+        dele.execute([3])
+        assert tdb.execute("SELECT COUNT(*) FROM T WHERE grp = 3").scalar() == 0
+
+    def test_prepared_mixed_explicit_and_lifted(self, tdb):
+        prepared = tdb.prepare("SELECT val FROM T WHERE grp = ? AND val > 15")
+        assert prepared.n_params == 1
+        assert sorted(r[0] for r in prepared.execute([1])) == [20]
+        assert sorted(r[0] for r in prepared.execute([2])) == [30, 40]
+
+    def test_prepared_survives_unrelated_ddl(self, tdb):
+        prepared = tdb.prepare("SELECT val FROM T WHERE id = ?")
+        prepared.execute([1])
+        tdb.execute("CREATE TABLE ELSEWHERE (x INTEGER)")
+        before = tdb.plan_cache.stats()
+        assert prepared.execute([3]).scalar() == 30
+        assert tdb.plan_cache.stats()["misses"] == before["misses"]
+
+    def test_prepared_recompiles_after_invalidation(self, tdb):
+        prepared = tdb.prepare("SELECT val FROM T WHERE grp = ?")
+        prepared.execute([1])
+        tdb.execute("CREATE INDEX ig ON T (grp); ANALYZE")
+        before = tdb.plan_cache.stats()
+        assert sorted(r[0] for r in prepared.execute([2])) == [30, 40]
+        after = tdb.plan_cache.stats()
+        assert after["misses"] == before["misses"] + 1
+        assert after["invalidations"] == before["invalidations"] + 1
+
+
+class TestExplainCounters:
+    def test_explain_reports_counters_without_mutating(self, tdb):
+        tdb.execute("SELECT val FROM T WHERE id = 1")
+        before = tdb.plan_cache.stats()
+        text = tdb.explain("SELECT val FROM T WHERE id = 1")
+        assert "plan cache: hits=" in text
+        assert tdb.plan_cache.stats() == before

@@ -143,6 +143,28 @@ class TestBufferPool:
         with pytest.raises(ExecutionError):
             pool.fetch(p1)
 
+    def test_fully_pinned_pool_raises_cleanly(self):
+        """Exhaustion must raise without corrupting the pool: resident
+        pages stay pinned and intact, and one unpin makes it usable again."""
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=3)
+        resident = [disk.allocate() for _ in range(3)]
+        for pid in resident:
+            pool.fetch(pid)  # all frames pinned
+        extra = disk.allocate()
+        with pytest.raises(ExecutionError, match="all pages pinned"):
+            pool.fetch(extra)
+        with pytest.raises(ExecutionError, match="all pages pinned"):
+            pool.new_page()
+        # the failed requests must not have (partially) registered frames
+        assert sorted(pool._frames) == sorted(resident)
+        assert all(pool._pins[pid] == 1 for pid in resident)
+        # releasing one pin makes the pool usable again
+        pool.unpin(resident[0])
+        fetched = pool.fetch(extra)
+        assert fetched.page_id == extra
+        assert resident[0] not in pool._frames  # the unpinned page was evicted
+
     def test_dirty_page_written_on_eviction(self):
         disk = DiskManager()
         pool = BufferPool(disk, capacity=1)
