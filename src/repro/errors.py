@@ -55,6 +55,68 @@ class DeadlockError(TransactionError):
     """Lock request aborted to break a deadlock."""
 
 
+class StorageError(SQLError):
+    """Base class for failures at the page/disk boundary."""
+
+
+class PageNotFoundError(StorageError):
+    """Read of a page id the disk never allocated."""
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        super().__init__(f"page {page_id} is not allocated")
+
+
+class ChecksumError(StorageError):
+    """A page image failed checksum verification (torn/corrupt write)."""
+
+    def __init__(self, page_id: int, expected: int, actual: int):
+        self.page_id = page_id
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"page {page_id} checksum mismatch: "
+            f"expected {expected:#010x}, got {actual:#010x}"
+        )
+
+
+class IOFaultError(StorageError):
+    """An (injected or real) I/O error on the disk or WAL path.
+
+    ``transient`` errors are safe to retry after backing off; persistent
+    ones are not.
+    """
+
+    def __init__(self, message: str, transient: bool = True):
+        self.transient = transient
+        super().__init__(message)
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent state."""
+
+
+class ResourceExhaustedError(ReproError):
+    """An execution guard tripped: fixpoint round/row limit or query
+    timeout.  The engine aborts the statement but leaves catalog, scratch
+    pool and plan cache consistent."""
+
+
+class SimulatedCrash(BaseException):
+    """A fault-injected hard crash (power failure) at an I/O operation.
+
+    Derives from :class:`BaseException` so no engine-level ``except
+    Exception`` handler can accidentally swallow it — exactly like a real
+    power cut, the process state after this point is unreachable.  Only the
+    crash-test harness catches it.
+    """
+
+    def __init__(self, op_index: int, site: str):
+        self.op_index = op_index
+        self.site = site
+        super().__init__(f"simulated crash at I/O op {op_index} ({site})")
+
+
 class XNFError(ReproError):
     """Base class for errors raised by the XNF composite-object layer."""
 

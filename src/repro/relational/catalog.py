@@ -226,11 +226,12 @@ class Table:
         self.heap.delete(rid)
         self.stats.row_count = self.heap.row_count
 
-    def undo_delete(self, row: Tuple[Any, ...]) -> None:
+    def undo_delete(self, row: Tuple[Any, ...]) -> RID:
         rid = self.heap.insert(row)
         for index in self.indexes.values():
             index.insert_row(row, rid)
         self.stats.row_count = self.heap.row_count
+        return rid
 
     def undo_update(self, rid: RID, before: Tuple[Any, ...]) -> None:
         old_row = self.heap.fetch_row(rid)
@@ -254,6 +255,21 @@ class Table:
             if existing == before:
                 self.undo_update(rid, after)
                 return
+
+    def stamp_lsn(self, rid: RID, lsn: int) -> None:
+        """Record *lsn* as the page LSN of the page holding *rid*.
+
+        Called by the transaction manager right after logging a change to
+        this row; crash recovery's redo pass replays a record only when the
+        on-disk page LSN is older.
+        """
+        pool = self.heap.buffer_pool
+        page = pool.fetch(rid.page_id)
+        try:
+            if lsn > page.page_lsn:
+                page.page_lsn = lsn
+        finally:
+            pool.unpin(rid.page_id, dirty=True)
 
     # -- read path ---------------------------------------------------------------
 

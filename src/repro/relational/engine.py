@@ -19,7 +19,10 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.errors import (
     CatalogError,
     ExecutionError,
+    IOFaultError,
+    ResourceExhaustedError,
     SQLError,
+    SimulatedCrash,
     TransactionError,
 )
 from repro.relational.catalog import Catalog, Column, Table
@@ -45,6 +48,7 @@ from repro.relational.txn.manager import (
     Transaction,
     TransactionManager,
 )
+from repro.relational.txn.wal import WriteAheadLog
 from repro.relational.types import type_from_name
 
 
@@ -165,12 +169,24 @@ class Database:
         buffer_capacity: int = 256,
         enable_rewrite: bool = True,
         plan_cache_capacity: int = 256,
+        disk: Optional[DiskManager] = None,
+        wal: Optional[WriteAheadLog] = None,
+        statement_timeout_s: Optional[float] = None,
+        io_retries: int = 3,
+        io_retry_backoff_s: float = 0.001,
     ):
-        self.disk = DiskManager(page_size)
+        # An existing disk/WAL pair may be passed in: that is how a crashed
+        # instance is reopened over its surviving stable storage (see
+        # Database.recover and tests/relational/test_crash_recovery.py).
+        self.disk = disk if disk is not None else DiskManager(page_size)
         self.buffer_pool = BufferPool(self.disk, buffer_capacity)
         self.catalog = Catalog(self.buffer_pool)
         self.builder = QGMBuilder(self.catalog)
-        self.txn_manager = TransactionManager()
+        self.txn_manager = TransactionManager(wal=wal)
+        self.buffer_pool.pre_write_hook = self._wal_ahead_of
+        self.statement_timeout_s = statement_timeout_s
+        self.io_retries = io_retries
+        self.io_retry_backoff_s = io_retry_backoff_s
         self.enable_rewrite = enable_rewrite
         self.isolation = IsolationLevel.REPEATABLE_READ
         self._txn: Optional[Transaction] = None
@@ -352,7 +368,7 @@ class Database:
             self._lock(table, LockMode.SHARED)
         plan = self.compile_query(query)
         start = time.perf_counter()
-        rows = list(plan.rows())
+        rows = self._collect_rows(plan)
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
         return Result(plan.columns, rows, len(rows))
@@ -366,14 +382,124 @@ class Database:
         plan = self._cached_plan(normalized)
         plan.context.params[:] = values + list(normalized.lifted_values)
         start = time.perf_counter()
-        rows = list(plan.rows())
+        rows = self._collect_rows(plan)
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
         return Result(plan.columns, rows, len(rows))
 
+    def _collect_rows(self, plan: CompiledPlan) -> List[Tuple[Any, ...]]:
+        """Materialize a plan's rows under the execution guards.
+
+        * the statement timeout is checked per produced row, so a runaway
+          query aborts with :class:`ResourceExhaustedError` instead of
+          spinning;
+        * a transient :class:`IOFaultError` (injected read error) restarts
+          the whole collection after a short backoff, up to ``io_retries``
+          times — queries have no side effects, so re-running the plan's
+          operator tree from scratch is safe.
+        """
+        backoff = self.io_retry_backoff_s
+        for attempt in range(self.io_retries + 1):
+            deadline = (
+                time.perf_counter() + self.statement_timeout_s
+                if self.statement_timeout_s is not None
+                else None
+            )
+            try:
+                rows: List[Tuple[Any, ...]] = []
+                for row in plan.rows():
+                    if deadline is not None and time.perf_counter() > deadline:
+                        raise ResourceExhaustedError(
+                            "query exceeded statement timeout of "
+                            f"{self.statement_timeout_s}s"
+                        )
+                    rows.append(row)
+                if deadline is not None and time.perf_counter() > deadline:
+                    raise ResourceExhaustedError(
+                        "query exceeded statement timeout of "
+                        f"{self.statement_timeout_s}s"
+                    )
+                return rows
+            except IOFaultError as err:
+                if err.transient and attempt < self.io_retries:
+                    if backoff > 0:
+                        time.sleep(backoff)
+                    backoff *= 2
+                    continue
+                raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
     # -- DML ------------------------------------------------------------------
 
+    def _run_guarded(self, fn) -> Result:
+        """Run one DML statement with statement-level atomicity.
+
+        Outside an explicit transaction, the statement runs in an implicit
+        per-statement transaction that commits (force-WAL) on success — the
+        replacement for unrecoverable "txn 0" autocommit logging.  On any
+        failure the statement's own changes are undone via the WAL undo
+        list (CLR-logged), so a half-applied multi-row statement never
+        leaks: inside an explicit transaction the earlier statements
+        survive, outside it the implicit transaction is rolled back.
+        Transient I/O faults additionally get a bounded retry with
+        exponential backoff.  A :class:`SimulatedCrash` passes through
+        untouched — the "machine" is dead and recovery owns cleanup.
+        """
+        implicit = not self.in_transaction
+        if implicit:
+            self._txn = self.txn_manager.begin(self.isolation, implicit=True)
+        txn = self._txn
+        assert txn is not None
+        try:
+            backoff = self.io_retry_backoff_s
+            for attempt in range(self.io_retries + 1):
+                mark = len(txn.undo)
+                try:
+                    result = fn()
+                    break
+                except SimulatedCrash:
+                    raise
+                except IOFaultError as err:
+                    self.txn_manager.rollback_statement(txn, mark)
+                    if err.transient and attempt < self.io_retries:
+                        if backoff > 0:
+                            time.sleep(backoff)
+                        backoff *= 2
+                        continue
+                    raise
+                except Exception:
+                    self.txn_manager.rollback_statement(txn, mark)
+                    raise
+            if implicit:
+                self.txn_manager.commit(txn)
+                self._txn = None
+            return result
+        except SimulatedCrash:
+            self._txn = None if implicit else self._txn
+            raise
+        except BaseException:
+            if implicit:
+                if txn.active:
+                    self.txn_manager.rollback(txn)
+                self._txn = None
+            raise
+
     def _run_insert(
+        self, stmt: ast.InsertStmt, params: Optional[List[Any]] = None
+    ) -> Result:
+        return self._run_guarded(lambda: self._do_insert(stmt, params))
+
+    def _run_update(
+        self, stmt: ast.UpdateStmt, params: Optional[List[Any]] = None
+    ) -> Result:
+        return self._run_guarded(lambda: self._do_update(stmt, params))
+
+    def _run_delete(
+        self, stmt: ast.DeleteStmt, params: Optional[List[Any]] = None
+    ) -> Result:
+        return self._run_guarded(lambda: self._do_delete(stmt, params))
+
+    def _do_insert(
         self, stmt: ast.InsertStmt, params: Optional[List[Any]] = None
     ) -> Result:
         table = self.catalog.get_table(stmt.table)
@@ -409,7 +535,7 @@ class Database:
         self._end_of_statement()
         return Result(rowcount=count)
 
-    def _run_update(
+    def _do_update(
         self, stmt: ast.UpdateStmt, params: Optional[List[Any]] = None
     ) -> Result:
         table = self.catalog.get_table(stmt.table)
@@ -447,7 +573,7 @@ class Database:
         self._end_of_statement()
         return Result(rowcount=len(pending))
 
-    def _run_delete(
+    def _do_delete(
         self, stmt: ast.DeleteStmt, params: Optional[List[Any]] = None
     ) -> Result:
         table = self.catalog.get_table(stmt.table)
@@ -558,7 +684,12 @@ class Database:
         self._txn = None
 
     def _lock(self, table: str, mode: LockMode) -> None:
-        if self._txn is not None and self._txn.active:
+        # Implicit (per-statement) transactions skip lock acquisition: the
+        # statement completes before control returns to any other session,
+        # so statement-scope locks would never be observed — and taking
+        # them would make autocommit DML conflict with open transactions,
+        # which the pre-transactional autocommit path never did.
+        if self._txn is not None and self._txn.active and not self._txn.implicit:
             self.txn_manager.locks.acquire(self._txn.txn_id, table, mode)
 
     def _end_of_statement(self) -> None:
@@ -571,28 +702,52 @@ class Database:
             self.txn_manager.locks.release_shared(self._txn.txn_id)
 
     def _record_insert(self, table: Table, rid) -> None:
+        # DML always runs inside a transaction now: explicit, or the
+        # implicit per-statement one _run_guarded opened (which replaces
+        # the old unrecoverable "txn 0" autocommit logging).
         row = table.fetch(rid)
-        if self._txn is not None and self._txn.active:
-            self.txn_manager.record_insert(self._txn, table, rid, row)
-        else:  # autocommit: log as an immediately-committed txn 0
-            self.txn_manager.wal.append(0, "INSERT", table.name, after=row)
-            self.txn_manager.wal.append(0, "COMMIT")
+        self.txn_manager.record_insert(self._txn, table, rid, row)
 
     def _record_update(self, table: Table, rid, before, after) -> None:
-        if self._txn is not None and self._txn.active:
-            self.txn_manager.record_update(self._txn, table, rid, before, after)
-        else:
-            self.txn_manager.wal.append(
-                0, "UPDATE", table.name, before=before, after=after
-            )
-            self.txn_manager.wal.append(0, "COMMIT")
+        self.txn_manager.record_update(self._txn, table, rid, before, after)
 
     def _record_delete(self, table: Table, rid, row) -> None:
-        if self._txn is not None and self._txn.active:
-            self.txn_manager.record_delete(self._txn, table, rid, row)
-        else:
-            self.txn_manager.wal.append(0, "DELETE", table.name, before=row)
-            self.txn_manager.wal.append(0, "COMMIT")
+        self.txn_manager.record_delete(self._txn, table, rid, row)
+
+    # -- durability ------------------------------------------------------------
+
+    def _wal_ahead_of(self, page) -> None:
+        """WAL rule: no page reaches disk before the log that describes it.
+
+        Wired as the buffer pool's ``pre_write_hook``; raises
+        :class:`IOFaultError` (and thereby blocks the page write) when the
+        WAL cannot be made stable up to the page's LSN.
+        """
+        wal = self.txn_manager.wal
+        if page.page_lsn <= wal.stable_lsn:
+            return
+        for _ in range(TransactionManager.FLUSH_ATTEMPTS):
+            if wal.flush() >= page.page_lsn:
+                return
+        raise IOFaultError(
+            f"WAL-ahead: cannot stabilize log up to LSN {page.page_lsn} "
+            f"before writing page {page.page_id}"
+        )
+
+    def checkpoint(self) -> int:
+        """Take a fuzzy checkpoint (bounds recovery's redo pass)."""
+        return self.txn_manager.checkpoint(self.buffer_pool)
+
+    def recover(self):
+        """Run crash recovery over this instance's disk and stable WAL.
+
+        Meant to be called on a *fresh* Database constructed over the disk
+        and WAL of a crashed one (``Database(disk=old.disk, wal=old.wal)``)
+        after re-creating the schema; returns
+        :class:`~repro.relational.txn.recovery.RecoveryStats`.  Safe to run
+        repeatedly — the second pass finds nothing to redo or undo.
+        """
+        return self.txn_manager.recover(self)
 
     # -- helpers ---------------------------------------------------------------------
 

@@ -460,6 +460,19 @@ class PlanCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    def invalidate_all(self) -> int:
+        """Drop every entry, counting each as an invalidation.
+
+        Crash recovery calls this: cached plans hold references to Table
+        objects whose heaps and indexes were just rebuilt, so none of them
+        may survive.  Returns the number of entries dropped.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += dropped
+        GLOBAL_STATS["invalidations"] += dropped
+        return dropped
+
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,

@@ -13,7 +13,10 @@ measurable I/O.  We model a paged store:
   a department tuple next to its employees (CO clustering, experiment E4),
 * :class:`~repro.relational.storage.cluster.CoCluster` — lays out
   parent/child tuples of a relationship contiguously, the Starburst "IMS
-  attachment" style clustering the paper cites.
+  attachment" style clustering the paper cites,
+* :class:`~repro.relational.storage.faults.FaultInjector` — deterministic
+  fault injection (I/O errors, torn writes, dropped flushes, hard crash
+  points) for the crash-recovery property harness.
 """
 
 from repro.relational.storage.disk import DiskManager
@@ -21,6 +24,7 @@ from repro.relational.storage.buffer import BufferPool
 from repro.relational.storage.heap import HeapFile, RID
 from repro.relational.storage.page import Page, estimate_row_size
 from repro.relational.storage.cluster import CoCluster
+from repro.relational.storage.faults import FaultInjector, FaultPlan
 
 __all__ = [
     "DiskManager",
@@ -30,4 +34,6 @@ __all__ = [
     "Page",
     "estimate_row_size",
     "CoCluster",
+    "FaultInjector",
+    "FaultPlan",
 ]

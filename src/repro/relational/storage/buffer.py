@@ -29,6 +29,16 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: WAL-ahead hook: called with the page about to be written to
+        #: disk (eviction or checkpoint); the engine wires this to a WAL
+        #: flush up to the page's LSN so no page with unlogged changes can
+        #: reach stable storage.
+        self.pre_write_hook = None
+
+    def _write_page(self, page: Page) -> None:
+        if self.pre_write_hook is not None:
+            self.pre_write_hook(page)
+        self.disk.write(page)
 
     # -- page access -------------------------------------------------------
 
@@ -69,7 +79,7 @@ class BufferPool:
         """Write every dirty resident page back to disk (checkpoint)."""
         for page in self._frames.values():
             if page.dirty:
-                self.disk.write(page)
+                self._write_page(page)
                 page.dirty = False
 
     def clear(self) -> None:
@@ -79,6 +89,16 @@ class BufferPool:
         for pid in unpinned:
             del self._frames[pid]
             del self._pins[pid]
+
+    def invalidate(self) -> None:
+        """Drop every frame WITHOUT writing anything back.
+
+        Used by crash recovery: the recovery pass rebuilds pages directly
+        on disk, so any frame still cached here is stale (and possibly
+        pinned state left over from the statement that crashed).
+        """
+        self._frames.clear()
+        self._pins.clear()
 
     def reset_stats(self) -> None:
         self.hits = 0
@@ -98,4 +118,4 @@ class BufferPool:
             del self._pins[victim_id]
             self.evictions += 1
             if victim.dirty:
-                self.disk.write(victim)
+                self._write_page(victim)

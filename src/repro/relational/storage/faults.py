@@ -1,0 +1,219 @@
+"""Deterministic, seedable fault injection for the storage and WAL paths.
+
+A :class:`FaultInjector` is installed into a :class:`DiskManager` and a
+:class:`WriteAheadLog` (see :meth:`FaultInjector.install`) and is consulted
+on every physical operation — page read, page write, WAL flush.  It can
+then, on a schedule that is a pure function of its seed and configured
+rates:
+
+* raise a transient :class:`~repro.errors.IOFaultError` (the engine's
+  bounded retry-with-backoff handles these),
+* tear a page write — a partial image lands on disk under the checksum of
+  the intended image, so the next read raises
+  :class:`~repro.errors.ChecksumError`,
+* drop a WAL flush — the flush silently persists nothing; the tail stays
+  buffered and the caller observes a stable-LSN that did not advance,
+* crash hard — raise :class:`~repro.errors.SimulatedCrash` (a
+  ``BaseException``) at the Nth operation, losing every un-flushed buffer.
+
+Every injected fault is recorded in :attr:`counts` and :attr:`log`, and the
+set of pages whose *latest* image is torn is tracked in
+:attr:`torn_pages` so a crash-recovery harness can assert that recovery
+detected every one of them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import IOFaultError, SimulatedCrash
+from repro.relational.storage.page import Page
+
+
+@dataclass
+class FaultPlan:
+    """Probabilities per operation class (0.0 disables a fault kind)."""
+
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    torn_write_rate: float = 0.0
+    drop_flush_rate: float = 0.0
+
+
+class FaultInjector:
+    """Seedable deterministic fault source for disk and WAL operations.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the private RNG; the same seed and the same operation
+        sequence produce the same faults.
+    plan:
+        Per-operation fault probabilities.
+    crash_after_ops:
+        Raise :class:`SimulatedCrash` when the global operation counter
+        reaches this value (None = never).  Operations are counted across
+        reads, writes and flushes, so a crash point lands anywhere in the
+        I/O stream.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        plan: Optional[FaultPlan] = None,
+        crash_after_ops: Optional[int] = None,
+    ):
+        self.seed = seed
+        self.plan = plan or FaultPlan()
+        self.crash_after_ops = crash_after_ops
+        self._rng = random.Random(seed)
+        self.armed = False
+        self.ops = 0
+        self.counts: Dict[str, int] = {
+            "io_errors": 0,
+            "torn_writes": 0,
+            "torn_flushes": 0,
+            "dropped_flushes": 0,
+            "crashes": 0,
+        }
+        self.log: List[Tuple[int, str, str]] = []  # (op index, site, fault)
+        #: pages whose latest on-disk image is torn (clean rewrite clears)
+        self.torn_pages: Set[int] = set()
+        #: one-shot targeted schedules (satellite/unit tests)
+        self._fail_reads = 0
+        self._fail_writes = 0
+        self._drop_flushes = 0
+        self._tear_next_writes = 0
+        self._tear_flushes = 0
+
+    # -- arming ------------------------------------------------------------
+
+    def install(self, database) -> "FaultInjector":
+        """Wire this injector into *database*'s disk and WAL paths."""
+        database.disk.fault_injector = self
+        database.txn_manager.wal.fault_injector = self
+        return self
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        """Stop injecting (recovery and test assertions run un-faulted)."""
+        self.armed = False
+
+    # -- targeted one-shot schedules ---------------------------------------
+
+    def fail_next_reads(self, n: int) -> None:
+        self._fail_reads = n
+
+    def fail_next_writes(self, n: int) -> None:
+        self._fail_writes = n
+
+    def drop_next_flushes(self, n: int) -> None:
+        self._drop_flushes = n
+
+    def tear_next_writes(self, n: int) -> None:
+        self._tear_next_writes = n
+
+    def tear_next_flushes(self, n: int) -> None:
+        self._tear_flushes = n
+
+    # -- hook sites --------------------------------------------------------
+
+    def on_disk_read(self, page_id: int) -> None:
+        if not self.armed:
+            return
+        self._tick("disk.read")
+        if self._fail_reads > 0:
+            self._fail_reads -= 1
+            self._record("disk.read", "io_error")
+            raise IOFaultError(f"injected read error on page {page_id}")
+        if self._roll(self.plan.read_error_rate):
+            self._record("disk.read", "io_error")
+            raise IOFaultError(f"injected read error on page {page_id}")
+
+    def on_disk_write(self, image: Page) -> Optional[Page]:
+        """Returns a *torn* partial image to store, or None for a clean write."""
+        if not self.armed:
+            self.torn_pages.discard(image.page_id)
+            return None
+        self._tick("disk.write")
+        if self._fail_writes > 0:
+            self._fail_writes -= 1
+            self._record("disk.write", "io_error")
+            raise IOFaultError(f"injected write error on page {image.page_id}")
+        if self._roll(self.plan.write_error_rate):
+            self._record("disk.write", "io_error")
+            raise IOFaultError(f"injected write error on page {image.page_id}")
+        tear = False
+        if self._tear_next_writes > 0:
+            self._tear_next_writes -= 1
+            tear = True
+        elif self._roll(self.plan.torn_write_rate):
+            tear = True
+        if tear:
+            self._record("disk.write", "torn_write")
+            self.torn_pages.add(image.page_id)
+            torn = image.copy()
+            # A torn write persists only a prefix of the sectors: keep the
+            # first half of the slots, lose the rest (and leave used_bytes
+            # stale, as a real partial write would).  An empty page has no
+            # slots to lose, so corrupt its fill counter instead — either
+            # way the stored image differs from the checksummed one.
+            if torn.slots:
+                torn.slots = torn.slots[: len(torn.slots) // 2]
+            else:
+                torn.used_bytes += 1
+            return torn
+        self.torn_pages.discard(image.page_id)
+        return None
+
+    def on_wal_flush(self, n_records: int) -> str:
+        """Disposition of a WAL flush: ``"ok"``, ``"drop"`` (persist
+        nothing, tail stays buffered) or ``"torn"`` (persist the batch but
+        corrupt its final record — recovery truncates the log there)."""
+        if not self.armed:
+            return "ok"
+        self._tick("wal.flush")
+        if self._tear_flushes > 0:
+            self._tear_flushes -= 1
+            self._record("wal.flush", "torn_flush")
+            return "torn"
+        if self._drop_flushes > 0:
+            self._drop_flushes -= 1
+            self._record("wal.flush", "dropped_flush")
+            return "drop"
+        if self._roll(self.plan.drop_flush_rate):
+            self._record("wal.flush", "dropped_flush")
+            return "drop"
+        return "ok"
+
+    # -- internals ---------------------------------------------------------
+
+    def _tick(self, site: str) -> None:
+        self.ops += 1
+        if self.crash_after_ops is not None and self.ops >= self.crash_after_ops:
+            self.counts["crashes"] += 1
+            self.log.append((self.ops, site, "crash"))
+            self.armed = False  # the machine is dead; nothing fires after
+            raise SimulatedCrash(self.ops, site)
+
+    def _roll(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def _record(self, site: str, fault: str) -> None:
+        key = {
+            "io_error": "io_errors",
+            "torn_write": "torn_writes",
+            "torn_flush": "torn_flushes",
+            "dropped_flush": "dropped_flushes",
+        }[fault]
+        self.counts[key] += 1
+        self.log.append((self.ops, site, fault))
+
+    def injected_total(self) -> int:
+        return sum(self.counts.values())

@@ -13,6 +13,7 @@ slotted page without binary serialisation overhead.
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, List, Optional, Tuple
 
 #: Default page size in (simulated) bytes.
@@ -48,7 +49,7 @@ class Page:
     other rows never move.  ``used_bytes`` tracks the simulated fill level.
     """
 
-    __slots__ = ("page_id", "page_size", "slots", "used_bytes", "dirty")
+    __slots__ = ("page_id", "page_size", "slots", "used_bytes", "dirty", "page_lsn")
 
     def __init__(self, page_id: int, page_size: int = DEFAULT_PAGE_SIZE):
         self.page_id = page_id
@@ -57,6 +58,10 @@ class Page:
         self.slots: List[Optional[Tuple[str, Tuple[Any, ...]]]] = []
         self.used_bytes = 0
         self.dirty = False
+        #: LSN of the last WAL record applied to this page; the redo pass
+        #: of crash recovery replays a record only when the page LSN is
+        #: older, which makes replay idempotent (ARIES repeating history).
+        self.page_lsn = 0
 
     def free_bytes(self) -> int:
         return self.page_size - self.used_bytes
@@ -103,4 +108,22 @@ class Page:
         clone = Page(self.page_id, self.page_size)
         clone.slots = list(self.slots)
         clone.used_bytes = self.used_bytes
+        clone.page_lsn = self.page_lsn
         return clone
+
+    def content_checksum(self) -> int:
+        """CRC32 over the page image (slots, fill level, page LSN).
+
+        Row values are ints, floats, strings, bools and None, whose reprs
+        are stable, so the checksum is deterministic across runs.
+        """
+        image = repr((self.page_id, self.page_lsn, self.used_bytes, self.slots))
+        return zlib.crc32(image.encode("utf-8"))
+
+    def recompute_used_bytes(self) -> None:
+        """Rebuild the fill counter from live slots (crash recovery)."""
+        self.used_bytes = sum(
+            estimate_row_size(content[1])
+            for content in self.slots
+            if content is not None
+        )

@@ -1,18 +1,41 @@
-"""Transaction manager: undo lists, WAL integration, recovery replay."""
+"""Transaction manager: undo lists, WAL integration, checkpoints, recovery.
+
+Durability protocol (ARIES-flavoured):
+
+* every DML change is logged with its physical RID and stamps the page LSN
+  (:meth:`Table.stamp_lsn`), giving the redo pass its idempotence test;
+* **commit** forces the WAL: the transaction's data records must be stable
+  before the COMMIT record is appended, and the COMMIT record itself must
+  be stable before the commit is acknowledged.  If the final flush keeps
+  failing (a fault injector can drop flushes), the COMMIT record is
+  retracted from the volatile tail and a transient
+  :class:`~repro.errors.IOFaultError` is raised — the transaction stays
+  active and undoable, so an acknowledged commit is always durable;
+* **rollback** (full or statement-level) applies the undo list in reverse
+  and logs a compensation (CLR) record per undone action, so that
+  crash-recovery's "repeat history" redo pass replays the undo too;
+* **checkpoints** are fuzzy: a CKPT_BEGIN record (with the active
+  transaction table), a forced WAL flush, a buffer-pool flush of all dirty
+  pages (each write subject to the WAL-ahead hook), then CKPT_END carrying
+  the begin-LSN — recovery's redo starts at the last *complete*
+  checkpoint's begin record.
+
+Crash recovery itself lives in :mod:`repro.relational.txn.recovery`.
+"""
 
 from __future__ import annotations
 
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import TransactionError
+from repro.errors import IOFaultError, TransactionError
 from repro.relational.catalog import Table
 from repro.relational.storage.heap import RID
 from repro.relational.txn import wal as wal_kinds
 from repro.relational.txn.locks import LockManager, LockMode
-from repro.relational.txn.wal import WriteAheadLog
+from repro.relational.txn.wal import LogRecord, WriteAheadLog
 
 
 class IsolationLevel(enum.Enum):
@@ -29,6 +52,8 @@ class _UndoEntry:
     rid: Optional[RID]
     before: Optional[Tuple[Any, ...]] = None
     after: Optional[Tuple[Any, ...]] = None
+    #: LSN of the WAL record this entry mirrors (becomes the CLR's undo_lsn)
+    lsn: int = 0
 
 
 @dataclass
@@ -37,94 +62,229 @@ class Transaction:
     isolation: IsolationLevel
     undo: List[_UndoEntry] = field(default_factory=list)
     active: bool = True
+    #: LSN of this transaction's most recent log record
+    last_lsn: int = 0
+    #: True for the per-statement transaction the engine wraps around
+    #: autocommit DML (statement == transaction)
+    implicit: bool = False
 
 
 class TransactionManager:
     """Coordinates transactions, the lock manager, and the WAL."""
 
-    def __init__(self):
+    #: bounded retries for commit-critical WAL flushes (dropped-flush faults)
+    FLUSH_ATTEMPTS = 5
+
+    def __init__(self, wal: Optional[WriteAheadLog] = None):
         self.locks = LockManager()
-        self.wal = WriteAheadLog()
+        self.wal = wal if wal is not None else WriteAheadLog()
         self._ids = itertools.count(1)
+        self._active: Dict[int, Transaction] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
     def begin(
-        self, isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ
+        self,
+        isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ,
+        implicit: bool = False,
     ) -> Transaction:
-        txn = Transaction(next(self._ids), isolation)
-        self.wal.append(txn.txn_id, wal_kinds.BEGIN)
+        txn = Transaction(next(self._ids), isolation, implicit=implicit)
+        record = self.wal.append(txn.txn_id, wal_kinds.BEGIN)
+        txn.last_lsn = record.lsn
+        self._active[txn.txn_id] = txn
         return txn
 
     def commit(self, txn: Transaction) -> None:
+        """Force-commit *txn*; raises (leaving it active) if the WAL cannot
+        be made stable — acknowledged commits are always durable."""
         self._check_active(txn)
-        self.wal.append(txn.txn_id, wal_kinds.COMMIT)
+        # WAL rule first: the transaction's own records must be stable
+        # before the commit point exists at all.
+        if not self._flush_upto(txn.last_lsn):
+            raise IOFaultError(
+                f"commit of txn {txn.txn_id}: WAL flush failed before "
+                "commit point; transaction still active"
+            )
+        record = self.wal.append(txn.txn_id, wal_kinds.COMMIT)
+        if not self._flush_upto(record.lsn):
+            # The COMMIT never reached stable storage; retract it so a
+            # subsequent rollback/ABORT does not contradict the log.
+            self.wal.retract_tail_record(record.lsn)
+            raise IOFaultError(
+                f"commit of txn {txn.txn_id}: COMMIT record could not be "
+                "made stable; transaction still active"
+            )
         txn.active = False
         txn.undo.clear()
+        self._active.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
 
     def rollback(self, txn: Transaction) -> None:
         self._check_active(txn)
-        for entry in reversed(txn.undo):
-            if entry.kind == wal_kinds.INSERT:
-                entry.table.undo_insert(entry.rid)  # type: ignore[arg-type]
-            elif entry.kind == wal_kinds.DELETE:
-                entry.table.undo_delete(entry.before)  # type: ignore[arg-type]
-            elif entry.kind == wal_kinds.UPDATE:
-                entry.table.undo_update(entry.rid, entry.before)  # type: ignore[arg-type]
+        self._undo_to_mark(txn, 0)
         self.wal.append(txn.txn_id, wal_kinds.ABORT)
         txn.active = False
         txn.undo.clear()
+        self._active.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
+
+    def rollback_statement(self, txn: Transaction, mark: int) -> int:
+        """Statement-level atomicity: undo (and CLR-log) every action the
+        current statement applied, leaving the transaction active.
+
+        *mark* is ``len(txn.undo)`` from before the statement started.
+        Returns the number of actions undone.
+        """
+        self._check_active(txn)
+        return self._undo_to_mark(txn, mark)
+
+    def _undo_to_mark(self, txn: Transaction, mark: int) -> int:
+        undone = 0
+        while len(txn.undo) > mark:
+            entry = txn.undo.pop()
+            if entry.kind == wal_kinds.INSERT:
+                entry.table.undo_insert(entry.rid)  # type: ignore[arg-type]
+                clr = self.wal.append(
+                    txn.txn_id,
+                    wal_kinds.CLR,
+                    entry.table.name,
+                    before=entry.after,
+                    rid=(entry.rid.page_id, entry.rid.slot),  # type: ignore[union-attr]
+                    comp_kind=wal_kinds.DELETE,
+                    undo_lsn=entry.lsn,
+                )
+                entry.table.stamp_lsn(entry.rid, clr.lsn)  # type: ignore[arg-type]
+            elif entry.kind == wal_kinds.DELETE:
+                new_rid = entry.table.undo_delete(entry.before)  # type: ignore[arg-type]
+                clr = self.wal.append(
+                    txn.txn_id,
+                    wal_kinds.CLR,
+                    entry.table.name,
+                    after=entry.before,
+                    rid=(new_rid.page_id, new_rid.slot),
+                    comp_kind=wal_kinds.INSERT,
+                    undo_lsn=entry.lsn,
+                )
+                entry.table.stamp_lsn(new_rid, clr.lsn)
+            elif entry.kind == wal_kinds.UPDATE:
+                entry.table.undo_update(entry.rid, entry.before)  # type: ignore[arg-type]
+                clr = self.wal.append(
+                    txn.txn_id,
+                    wal_kinds.CLR,
+                    entry.table.name,
+                    before=entry.after,
+                    after=entry.before,
+                    rid=(entry.rid.page_id, entry.rid.slot),  # type: ignore[union-attr]
+                    comp_kind=wal_kinds.UPDATE,
+                    undo_lsn=entry.lsn,
+                )
+                entry.table.stamp_lsn(entry.rid, clr.lsn)  # type: ignore[arg-type]
+            txn.last_lsn = clr.lsn
+            undone += 1
+        return undone
 
     def _check_active(self, txn: Transaction) -> None:
         if not txn.active:
             raise TransactionError(f"transaction {txn.txn_id} is not active")
 
-    # -- change recording (called by the engine's DML paths) ---------------------------
+    def _flush_upto(self, lsn: int) -> bool:
+        for _ in range(self.FLUSH_ATTEMPTS):
+            if self.wal.flush() >= lsn:
+                return True
+        return False
 
-    def record_insert(self, txn: Transaction, table: Table, rid: RID, row) -> None:
-        txn.undo.append(_UndoEntry(wal_kinds.INSERT, table, rid, after=row))
-        self.wal.append(txn.txn_id, wal_kinds.INSERT, table.name, after=row)
+    # -- change recording (called by the engine's DML paths) ------------------
 
-    def record_delete(self, txn: Transaction, table: Table, rid: RID, row) -> None:
-        txn.undo.append(_UndoEntry(wal_kinds.DELETE, table, rid, before=row))
-        self.wal.append(txn.txn_id, wal_kinds.DELETE, table.name, before=row)
+    def record_insert(
+        self, txn: Transaction, table: Table, rid: RID, row
+    ) -> LogRecord:
+        record = self.wal.append(
+            txn.txn_id,
+            wal_kinds.INSERT,
+            table.name,
+            after=row,
+            rid=(rid.page_id, rid.slot),
+        )
+        txn.undo.append(
+            _UndoEntry(wal_kinds.INSERT, table, rid, after=row, lsn=record.lsn)
+        )
+        txn.last_lsn = record.lsn
+        table.stamp_lsn(rid, record.lsn)
+        return record
+
+    def record_delete(
+        self, txn: Transaction, table: Table, rid: RID, row
+    ) -> LogRecord:
+        record = self.wal.append(
+            txn.txn_id,
+            wal_kinds.DELETE,
+            table.name,
+            before=row,
+            rid=(rid.page_id, rid.slot),
+        )
+        txn.undo.append(
+            _UndoEntry(wal_kinds.DELETE, table, rid, before=row, lsn=record.lsn)
+        )
+        txn.last_lsn = record.lsn
+        table.stamp_lsn(rid, record.lsn)
+        return record
 
     def record_update(
         self, txn: Transaction, table: Table, rid: RID, before, after
-    ) -> None:
+    ) -> LogRecord:
+        record = self.wal.append(
+            txn.txn_id,
+            wal_kinds.UPDATE,
+            table.name,
+            before=before,
+            after=after,
+            rid=(rid.page_id, rid.slot),
+        )
         txn.undo.append(
-            _UndoEntry(wal_kinds.UPDATE, table, rid, before=before, after=after)
+            _UndoEntry(
+                wal_kinds.UPDATE, table, rid, before=before, after=after,
+                lsn=record.lsn,
+            )
         )
-        self.wal.append(
-            txn.txn_id, wal_kinds.UPDATE, table.name, before=before, after=after
-        )
+        txn.last_lsn = record.lsn
+        table.stamp_lsn(rid, record.lsn)
+        return record
 
-    # -- recovery -----------------------------------------------------------------
+    # -- checkpoints ----------------------------------------------------------
 
-    def recover_into(self, database) -> int:
-        """Replay committed work from this WAL into *database*.
+    def checkpoint(self, buffer_pool) -> int:
+        """Take a fuzzy checkpoint; returns the CKPT_BEGIN LSN.
 
-        *database* must contain the schema (tables/indexes) but no rows —
-        the caller simulates a crash by rebuilding the schema and replaying.
-        Returns the number of records applied.
+        Transactions may be in flight; their in-doubt changes reach disk
+        (steal), which is fine because their undo information is forced
+        stable first.  An incomplete checkpoint (crash or I/O error before
+        CKPT_END is stable) is simply ignored by recovery.
         """
-        committed = self.wal.committed_txns()
-        applied = 0
-        for record in self.wal.records:
-            if record.txn_id not in committed:
-                continue
-            if record.kind == wal_kinds.INSERT:
-                table = database.catalog.get_table(record.table)
-                table.redo_insert(record.after)
-                applied += 1
-            elif record.kind == wal_kinds.DELETE:
-                table = database.catalog.get_table(record.table)
-                table.redo_delete(record.before)
-                applied += 1
-            elif record.kind == wal_kinds.UPDATE:
-                table = database.catalog.get_table(record.table)
-                table.redo_update(record.before, record.after)
-                applied += 1
-        return applied
+        active = sorted(self._active)
+        begin = self.wal.append(0, wal_kinds.CKPT_BEGIN, extra={"active": active})
+        if not self._flush_upto(begin.lsn):
+            raise IOFaultError("checkpoint: WAL flush failed at begin")
+        buffer_pool.flush_all()
+        end = self.wal.append(
+            0,
+            wal_kinds.CKPT_END,
+            extra={"begin_lsn": begin.lsn, "active": active},
+        )
+        if not self._flush_upto(end.lsn):
+            raise IOFaultError("checkpoint: WAL flush failed at end")
+        return begin.lsn
+
+    # -- recovery --------------------------------------------------------------
+
+    def resume_after(self, max_txn_id: int) -> None:
+        """Restart the id clock past every transaction the log has seen."""
+        self._ids = itertools.count(max_txn_id + 1)
+        self._active.clear()
+        self.locks = LockManager()
+
+    def recover(self, database) -> "RecoveryStats":  # noqa: F821
+        """Run ARIES-style crash recovery over *database* (see
+        :mod:`repro.relational.txn.recovery`)."""
+        from repro.relational.txn.recovery import run_recovery
+
+        return run_recovery(database)

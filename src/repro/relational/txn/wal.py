@@ -1,16 +1,31 @@
-"""Write-ahead log with logical records.
+"""Write-ahead log with CRC'd logical records and a stable-storage boundary.
 
-Records carry full before/after row images, so the log alone is sufficient
-to redo committed work into an empty database (see
-:func:`repro.relational.txn.manager.TransactionManager.recover_into`) —
-the property the recovery tests exercise with a simulated crash.
+Records carry full before/after row images *and* the physical RID they were
+applied to, so the log supports both logical log-shipping replay and the
+page-LSN-based ARIES redo/undo of
+:mod:`repro.relational.txn.recovery`.
+
+Durability model
+----------------
+``append`` writes into a volatile tail buffer; :meth:`flush` moves the tail
+to the stable region (``stable_records``), which is all a crash preserves.
+Each record stores a CRC32 over its payload, verified when recovery reads
+the stable log — a torn flush (an installed
+:class:`~repro.relational.storage.faults.FaultInjector` can corrupt the
+tail of a flushed batch) truncates the log at the first bad record.
+:meth:`crash` simulates the power cut: the tail is discarded and the LSN
+clock rewinds to the stable high-water mark.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.relational.storage.faults import FaultInjector
 
 #: record kinds
 BEGIN = "BEGIN"
@@ -19,6 +34,14 @@ ABORT = "ABORT"
 INSERT = "INSERT"
 DELETE = "DELETE"
 UPDATE = "UPDATE"
+#: compensation record: the redo-only inverse of an undone action
+CLR = "CLR"
+#: fuzzy checkpoint brackets
+CKPT_BEGIN = "CKPT_BEGIN"
+CKPT_END = "CKPT_END"
+
+#: physical address of a logged row, as a plain (page_id, slot) pair
+PageAddress = Tuple[int, int]
 
 
 @dataclass(frozen=True)
@@ -29,14 +52,64 @@ class LogRecord:
     table: Optional[str] = None
     before: Optional[Tuple[Any, ...]] = None
     after: Optional[Tuple[Any, ...]] = None
+    #: physical address the change was applied to (data records and CLRs)
+    rid: Optional[PageAddress] = None
+    #: for CLR records: the operation the compensation performs
+    comp_kind: Optional[str] = None
+    #: for CLR records: the LSN of the data record this compensates
+    undo_lsn: Optional[int] = None
+    #: checkpoint payload (active transactions, begin-LSN back pointer)
+    extra: Optional[Dict[str, Any]] = None
+    #: CRC32 over the payload; 0 means "not yet sealed"
+    crc: int = 0
+
+    def payload_crc(self) -> int:
+        image = repr(
+            (
+                self.lsn,
+                self.txn_id,
+                self.kind,
+                self.table,
+                self.before,
+                self.after,
+                self.rid,
+                self.comp_kind,
+                self.undo_lsn,
+                self.extra,
+            )
+        )
+        return zlib.crc32(image.encode("utf-8"))
+
+    def sealed(self) -> "LogRecord":
+        return LogRecord(
+            self.lsn,
+            self.txn_id,
+            self.kind,
+            self.table,
+            self.before,
+            self.after,
+            self.rid,
+            self.comp_kind,
+            self.undo_lsn,
+            self.extra,
+            self.payload_crc(),
+        )
+
+    def verify(self) -> bool:
+        return self.crc == self.payload_crc()
 
 
 class WriteAheadLog:
-    """Append-only log; ``records`` simulates stable storage."""
+    """Append-only log split into a stable region and a volatile tail."""
 
     def __init__(self):
-        self.records: List[LogRecord] = []
+        self._stable: List[LogRecord] = []
+        self._tail: List[LogRecord] = []
         self._lsn = itertools.count(1)
+        self.fault_injector: Optional["FaultInjector"] = None
+        self.flushes = 0
+
+    # -- append / flush ------------------------------------------------------
 
     def append(
         self,
@@ -45,13 +118,111 @@ class WriteAheadLog:
         table: Optional[str] = None,
         before: Optional[Tuple[Any, ...]] = None,
         after: Optional[Tuple[Any, ...]] = None,
+        rid: Optional[PageAddress] = None,
+        comp_kind: Optional[str] = None,
+        undo_lsn: Optional[int] = None,
+        extra: Optional[Dict[str, Any]] = None,
     ) -> LogRecord:
-        record = LogRecord(next(self._lsn), txn_id, kind, table, before, after)
-        self.records.append(record)
+        record = LogRecord(
+            next(self._lsn), txn_id, kind, table, before, after,
+            rid, comp_kind, undo_lsn, extra,
+        ).sealed()
+        self._tail.append(record)
         return record
+
+    def flush(self) -> int:
+        """Force the tail to stable storage; returns the stable LSN.
+
+        A dropped flush (fault injection) persists nothing but keeps the
+        tail buffered, so a later flush can still succeed — callers that
+        need durability must check the returned stable LSN.  A torn flush
+        persists the batch but only partially writes its final record: that
+        record lands with a broken CRC (recovery truncates the log there if
+        the machine dies now) and is NOT reported stable — it stays in the
+        tail, and the next flush overwrites the torn region, exactly like a
+        log writer re-writing its last partially-filled block.
+        """
+        if not self._tail:
+            return self.stable_lsn
+        self.flushes += 1
+        disposition = "ok"
+        if self.fault_injector is not None:
+            disposition = self.fault_injector.on_wal_flush(len(self._tail))
+        if disposition == "drop":
+            return self.stable_lsn  # dropped: tail stays volatile
+        self._repair_torn_end()
+        if disposition == "torn":
+            batch = list(self._tail)
+            last = batch[-1]
+            self._stable.extend(batch[:-1])
+            self._stable.append(replace(last, crc=last.crc ^ 0xFFFFFFFF))
+            # The final record never fully persisted: keep it buffered so a
+            # retry can complete the flush.
+            self._tail = [last]
+            return self.stable_lsn
+        self._stable.extend(self._tail)
+        self._tail.clear()
+        return self.stable_lsn
+
+    def _repair_torn_end(self) -> None:
+        """Drop a torn trailing record before persisting over its region.
+
+        Only the most recent record can ever be torn (every flush repairs
+        first), so this is O(1).
+        """
+        if self._stable and not self._stable[-1].verify():
+            self._stable.pop()
+
+    def retract_tail_record(self, lsn: int) -> bool:
+        """Remove a not-yet-stable record (commit backs out of a failed
+        flush so an ABORT can follow without contradicting the log)."""
+        for pos, record in enumerate(self._tail):
+            if record.lsn == lsn:
+                del self._tail[pos]
+                return True
+        return False
+
+    # -- crash simulation ----------------------------------------------------
+
+    def crash(self) -> int:
+        """Drop the volatile tail (power cut); returns records lost."""
+        lost = len(self._tail)
+        self._tail.clear()
+        self._lsn = itertools.count(self.stable_lsn + 1)
+        return lost
+
+    # -- read side -----------------------------------------------------------
+
+    @property
+    def stable_lsn(self) -> int:
+        """LSN of the last *verified* stable record.
+
+        A torn trailing record does not count: recovery would truncate it,
+        so reporting it stable would let a commit be acknowledged and then
+        lost.
+        """
+        if not self._stable:
+            return 0
+        if not self._stable[-1].verify():
+            return self._stable[-2].lsn if len(self._stable) > 1 else 0
+        return self._stable[-1].lsn
+
+    def stable_records(self) -> List[LogRecord]:
+        """CRC-verified stable prefix: truncates at the first torn record."""
+        good: List[LogRecord] = []
+        for record in self._stable:
+            if not record.verify():
+                break
+            good.append(record)
+        return good
+
+    @property
+    def records(self) -> List[LogRecord]:
+        """Runtime logical view: stable region plus the volatile tail."""
+        return self._stable + self._tail
 
     def committed_txns(self) -> set:
         return {r.txn_id for r in self.records if r.kind == COMMIT}
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._stable) + len(self._tail)

@@ -144,6 +144,12 @@ class XNFSession:
         ablation (full re-join per round).
     deferred_propagation:
         Queue manipulation propagation until ``CompositeObject.flush()``.
+    max_rounds / max_rows / timeout_s:
+        Execution guards on the reachability fixpoint: a recursive CO that
+        exceeds any of them aborts with
+        :class:`~repro.errors.ResourceExhaustedError`, leaving the catalog,
+        scratch-table pool and plan cache consistent.  ``None`` disables a
+        guard.
     """
 
     def __init__(
@@ -152,12 +158,18 @@ class XNFSession:
         reuse_common: bool = True,
         semi_naive: bool = True,
         deferred_propagation: bool = False,
+        max_rounds: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        timeout_s: Optional[float] = None,
     ):
         self.db = db
         self.views = XNFViewCatalog()
         self.reuse_common = reuse_common
         self.semi_naive = semi_naive
         self.deferred_propagation = deferred_propagation
+        self.max_rounds = max_rounds
+        self.max_rows = max_rows
+        self.timeout_s = timeout_s
         self.last_stats: Optional[InstantiationStats] = None
         # name -> (handle, resolved source schema); see materialize_view()
         self._snapshots: Dict[str, tuple] = {}
@@ -241,7 +253,12 @@ class XNFSession:
             raise XNFError(f"unknown XNF view {view_name!r}")
         schema = resolve(stored, self.views, view_name)
         compiler = XNFCompiler(
-            self.db, reuse_common=self.reuse_common, semi_naive=self.semi_naive
+            self.db,
+            reuse_common=self.reuse_common,
+            semi_naive=self.semi_naive,
+            max_rounds=self.max_rounds,
+            max_rows=self.max_rows,
+            timeout_s=self.timeout_s,
         )
         instance = compiler.instantiate(schema)
         self.last_stats = compiler.stats
@@ -294,7 +311,12 @@ class XNFSession:
     def _instantiate(self, query: xast.XNFQuery) -> COCache:
         schema = resolve(query, self.views)
         compiler = XNFCompiler(
-            self.db, reuse_common=self.reuse_common, semi_naive=self.semi_naive
+            self.db,
+            reuse_common=self.reuse_common,
+            semi_naive=self.semi_naive,
+            max_rounds=self.max_rounds,
+            max_rows=self.max_rows,
+            timeout_s=self.timeout_s,
         )
         instance = compiler.instantiate(schema)
         self.last_stats = compiler.stats

@@ -30,10 +30,11 @@ point: the relational machinery is reused wholesale.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CatalogError, TypeCheckError, XNFError
+from repro.errors import CatalogError, ResourceExhaustedError, TypeCheckError, XNFError
 from repro.relational.catalog import Column, Table
 from repro.relational.engine import Database
 from repro.relational.sql import ast as sql_ast
@@ -85,10 +86,19 @@ class XNFCompiler:
         db: Database,
         reuse_common: bool = True,
         semi_naive: bool = True,
+        max_rounds: Optional[int] = None,
+        max_rows: Optional[int] = None,
+        timeout_s: Optional[float] = None,
     ):
         self.db = db
         self.reuse_common = reuse_common
         self.semi_naive = semi_naive
+        #: execution guards: abort a runaway reachability fixpoint (cyclic
+        #: recursive COs can otherwise expand without bound) with
+        #: ResourceExhaustedError.  None disables a guard.
+        self.max_rounds = max_rounds
+        self.max_rows = max_rows
+        self.timeout_s = timeout_s
         #: scratch worktables currently attached to the catalog (name -> Table)
         self._attached: Dict[str, Table] = {}
         #: uniquely-named fallback tables (name collided with a user object);
@@ -172,7 +182,9 @@ class XNFCompiler:
                 delta[root][row] = None
 
         edges = list(schema.edges.values())
+        fixpoint_start = time.perf_counter()
         while any(delta.values()):
+            self._check_guards(reachable, fixpoint_start)
             self.stats.iterations += 1
             new_delta: Dict[str, Dict[Row, None]] = {
                 name: {} for name in schema.nodes
@@ -207,6 +219,36 @@ class XNFCompiler:
                 edge, instance, reachable_tables
             )
         return instance
+
+    def _check_guards(
+        self, reachable: Dict[str, Dict[Row, None]], started: float
+    ) -> None:
+        """Abort a runaway fixpoint before the next round starts.
+
+        Raised between rounds, so the catalog, the scratch-table pool and
+        the plan cache are never left mid-mutation: ``instantiate``'s
+        ``finally`` clause releases the worktables exactly as it does after
+        a successful run.
+        """
+        if self.max_rounds is not None and self.stats.iterations >= self.max_rounds:
+            raise ResourceExhaustedError(
+                f"XNF fixpoint exceeded {self.max_rounds} rounds "
+                "(recursive CO did not converge)"
+            )
+        if self.max_rows is not None:
+            total = sum(len(rows) for rows in reachable.values())
+            if total > self.max_rows:
+                raise ResourceExhaustedError(
+                    f"XNF fixpoint exceeded {self.max_rows} reachable rows "
+                    f"(got {total})"
+                )
+        if (
+            self.timeout_s is not None
+            and time.perf_counter() - started > self.timeout_s
+        ):
+            raise ResourceExhaustedError(
+                f"XNF fixpoint exceeded timeout of {self.timeout_s}s"
+            )
 
     # -- generated queries ------------------------------------------------------------
 

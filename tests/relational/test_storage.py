@@ -2,11 +2,21 @@
 
 import pytest
 
-from repro.errors import ExecutionError
+from repro.errors import (
+    ChecksumError,
+    ExecutionError,
+    IOFaultError,
+    PageNotFoundError,
+    SimulatedCrash,
+    SQLError,
+    StorageError,
+)
 from repro.relational.storage import (
     BufferPool,
     CoCluster,
     DiskManager,
+    FaultInjector,
+    FaultPlan,
     HeapFile,
     Page,
     estimate_row_size,
@@ -94,6 +104,125 @@ class TestDiskManager:
         page.insert("T", (1,))
         # Not written back: the next read must not see it.
         assert disk.read(pid).read(0) is None
+
+    def test_read_of_unallocated_page_raises_typed_error(self):
+        disk = DiskManager()
+        with pytest.raises(PageNotFoundError) as excinfo:
+            disk.read(999)
+        assert excinfo.value.page_id == 999
+        # typed as a storage error inside the SQLError hierarchy, so the
+        # generic handlers of callers still catch it
+        assert isinstance(excinfo.value, StorageError)
+        assert isinstance(excinfo.value, SQLError)
+
+    def test_page_images_are_checksummed(self):
+        disk = DiskManager()
+        pid = disk.allocate()
+        page = disk.read(pid)
+        page.insert("T", (1, "x"))
+        disk.write(page)
+        # corrupt the stored image behind the checksum's back
+        disk._pages[pid].slots.append(("T", (999,)))
+        with pytest.raises(ChecksumError) as excinfo:
+            disk.read(pid)
+        assert excinfo.value.page_id == pid
+
+
+class TestFaultInjector:
+    def _disk_with_injector(self, **kwargs):
+        disk = DiskManager()
+        injector = FaultInjector(**kwargs)
+        disk.fault_injector = injector
+        injector.arm()
+        return disk, injector
+
+    def test_injected_read_error(self):
+        disk, injector = self._disk_with_injector()
+        pid = disk.allocate()
+        injector.fail_next_reads(1)
+        with pytest.raises(IOFaultError) as excinfo:
+            disk.read(pid)
+        assert excinfo.value.transient
+        assert disk.read(pid) is not None  # one-shot: next read succeeds
+        assert injector.counts["io_errors"] == 1
+
+    def test_torn_write_detected_on_next_read(self):
+        disk, injector = self._disk_with_injector()
+        pid = disk.allocate()
+        page = disk.read(pid)
+        for i in range(4):
+            page.insert("T", (i, "payload"))
+        injector.tear_next_writes(1)
+        disk.write(page)
+        assert pid in injector.torn_pages
+        with pytest.raises(ChecksumError):
+            disk.read(pid)
+        # recovery-side read flags instead of raising
+        _, ok = disk.read_unchecked(pid)
+        assert not ok
+
+    def test_clean_rewrite_clears_torn_state(self):
+        disk, injector = self._disk_with_injector()
+        pid = disk.allocate()
+        page = disk.read(pid)
+        page.insert("T", (1,))
+        injector.tear_next_writes(1)
+        disk.write(page)
+        disk.write(page)  # clean write replaces the torn image
+        assert pid not in injector.torn_pages
+        assert disk.read(pid).read(0) == ("T", (1,))
+
+    def test_torn_write_of_empty_page_still_detected(self):
+        disk, injector = self._disk_with_injector()
+        pid = disk.allocate()
+        page = disk.read(pid)
+        injector.tear_next_writes(1)
+        disk.write(page)
+        with pytest.raises(ChecksumError):
+            disk.read(pid)
+
+    def test_crash_after_n_ops(self):
+        disk, injector = self._disk_with_injector(crash_after_ops=3)
+        pid = disk.allocate()
+        disk.read(pid)
+        disk.read(pid)
+        with pytest.raises(SimulatedCrash) as excinfo:
+            disk.read(pid)
+        assert excinfo.value.op_index == 3
+        # SimulatedCrash must not be swallowed by `except Exception`
+        assert not isinstance(excinfo.value, Exception)
+        # the machine is dead: nothing fires after the crash
+        assert not injector.armed
+
+    def test_deterministic_schedule_per_seed(self):
+        plan = FaultPlan(read_error_rate=0.3)
+
+        def run(seed):
+            disk = DiskManager()
+            injector = FaultInjector(seed=seed, plan=plan)
+            disk.fault_injector = injector
+            injector.arm()
+            pid = disk.allocate()
+            outcomes = []
+            for _ in range(50):
+                try:
+                    disk.read(pid)
+                    outcomes.append("ok")
+                except IOFaultError:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_disarmed_injector_is_silent(self):
+        disk, injector = self._disk_with_injector(
+            plan=FaultPlan(read_error_rate=1.0)
+        )
+        injector.disarm()
+        pid = disk.allocate()
+        disk.read(pid)  # no fault
+        assert injector.injected_total() == 0
 
 
 class TestBufferPool:
