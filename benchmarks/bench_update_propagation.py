@@ -11,7 +11,6 @@ and the flush runs as one transaction.
 
 import time
 
-import pytest
 
 from benchmarks.conftest import report
 from repro.workloads import company

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Perf-regression gate over the benchmark plan-cache ledger.
+
+Compares the per-module aggregates of a fresh ``BENCH_plan_cache.json``
+(written by the benchmark smoke run, see ``benchmarks/conftest.py``)
+against the committed ``benchmarks/baseline.json``:
+
+* **wall time** — a module may not be slower than ``baseline * (1 + tol)``,
+  with ``tol`` = ``PERF_TOLERANCE`` (default 0.30, i.e. ±30%).  Modules
+  whose baseline wall time is below ``PERF_WALL_FLOOR_S`` (default 0.1s)
+  are exempt: at that scale the signal is all noise.
+* **plan-cache hit rate** — deterministic, so the band is tight: a module
+  may not lose more than ``PERF_HIT_RATE_BAND`` (default 0.05 absolute)
+  against its baseline hit rate.
+* a module present in the baseline but missing from the fresh ledger
+  fails the gate (a silently-skipped benchmark is a regression too);
+  a new module not yet in the baseline is reported but passes.
+
+``--update`` regenerates the baseline from the fresh ledger (run the
+benchmark smoke first, then commit the result).
+
+Exit status 0 = gate passed, 1 = regression, 2 = usage/IO problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+LEDGER_PATH = HERE.parent / "BENCH_plan_cache.json"
+BASELINE_PATH = HERE / "baseline.json"
+
+TOLERANCE = float(os.environ.get("PERF_TOLERANCE", "0.30"))
+WALL_FLOOR_S = float(os.environ.get("PERF_WALL_FLOOR_S", "0.1"))
+HIT_RATE_BAND = float(os.environ.get("PERF_HIT_RATE_BAND", "0.05"))
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def update_baseline(ledger: dict) -> None:
+    baseline = {
+        "note": (
+            "Per-module benchmark baseline for check_regression.py. "
+            "Regenerate with: run the benchmark smoke modules, then "
+            "`python benchmarks/check_regression.py --update`."
+        ),
+        "modules": {
+            module: {
+                "wall_time_s": agg["wall_time_s"],
+                "hit_rate": agg.get("hit_rate"),
+            }
+            for module, agg in sorted(ledger["modules"].items())
+        },
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline written to {BASELINE_PATH}")
+    for module, agg in baseline["modules"].items():
+        print(
+            f"  {module}: wall={agg['wall_time_s']:.3f}s "
+            f"hit_rate={agg['hit_rate']}"
+        )
+
+
+def check(ledger: dict, baseline: dict) -> int:
+    failures = []
+    current = ledger.get("modules", {})
+    for module, base in sorted(baseline.get("modules", {}).items()):
+        agg = current.get(module)
+        if agg is None:
+            failures.append(f"{module}: present in baseline but not run")
+            continue
+        base_wall = base["wall_time_s"]
+        wall = agg["wall_time_s"]
+        if base_wall >= WALL_FLOOR_S:
+            limit = base_wall * (1.0 + TOLERANCE)
+            verdict = "FAIL" if wall > limit else "ok"
+            print(
+                f"{module}: wall {wall:.3f}s vs baseline {base_wall:.3f}s "
+                f"(limit {limit:.3f}s) {verdict}"
+            )
+            if wall > limit:
+                failures.append(
+                    f"{module}: wall time {wall:.3f}s exceeds "
+                    f"{limit:.3f}s (+{TOLERANCE:.0%} over baseline)"
+                )
+        else:
+            print(
+                f"{module}: wall {wall:.3f}s (baseline {base_wall:.3f}s "
+                f"below {WALL_FLOOR_S}s floor, not gated)"
+            )
+        base_rate = base.get("hit_rate")
+        rate = agg.get("hit_rate")
+        if base_rate is not None:
+            if rate is None or rate < base_rate - HIT_RATE_BAND:
+                failures.append(
+                    f"{module}: plan-cache hit rate {rate} fell below "
+                    f"baseline {base_rate} - {HIT_RATE_BAND}"
+                )
+            else:
+                print(
+                    f"{module}: hit_rate {rate} vs baseline {base_rate} ok"
+                )
+    for module in sorted(set(current) - set(baseline.get("modules", {}))):
+        print(f"{module}: no baseline yet (run --update to adopt)")
+    if failures:
+        print("\nperf-regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nperf-regression gate passed")
+    return 0
+
+
+def main(argv) -> int:
+    ledger = load(LEDGER_PATH)
+    if "--update" in argv:
+        update_baseline(ledger)
+        return 0
+    return check(ledger, load(BASELINE_PATH))
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -11,7 +11,6 @@ Run:  python examples/company_org.py
 
 from repro.workloads import company
 from repro.xnf.api import XNFSession
-from repro.xnf.closure import QueryClass
 
 
 def figure1() -> None:

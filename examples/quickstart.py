@@ -56,7 +56,6 @@ def main() -> None:
           db.execute("SELECT sal FROM EMP WHERE ename = 'ann'").scalar())
 
     # 5. Relationships are manipulated with connect/disconnect.
-    dan = db.execute("SELECT * FROM EMP WHERE ename = 'dan'").first()
     new_dan = co.insert("Xemp", eno=5, ename="dan2", sal=90.0)
     toys = co.find("Xdept", dname="toys")
     co.connect("employment", toys, new_dan)

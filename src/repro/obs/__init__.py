@@ -1,0 +1,40 @@
+"""Observability: span tracing, metrics, EXPLAIN ANALYZE, slow-query log.
+
+The paper's Fig. 7/8 pipeline (XNF parse → QGM → semantic rewrite → SQL
+operators) is a multi-stage translation whose cost structure is invisible
+without instrumentation.  This package supplies the substrate every perf
+PR measures against:
+
+* :mod:`repro.obs.trace` — a lightweight span tracer threaded through
+  ``Database.execute`` → parse → QGM build → rewrite → optimize →
+  executor, and through the XNF reachability fixpoint (one span per
+  round).  Each statement leaves a structured span tree in
+  ``Database.tracer.last_trace``.
+* :mod:`repro.obs.metrics` — process-wide counters / gauges / histograms;
+  ``Database.metrics_snapshot()`` merges them with the storage, WAL, lock,
+  transaction, fixpoint and plan-cache counters.
+* :mod:`repro.obs.analyze` — operator-level instrumentation behind
+  ``EXPLAIN ANALYZE`` (rows in/out and cumulative time per plan operator).
+* :mod:`repro.obs.slowlog` — a threshold-configurable slow-query log with
+  the statement's span tree attached.
+"""
+
+from repro.obs.analyze import OpStats, instrument_plan, render_analyzed
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "OpStats",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "instrument_plan",
+    "render_analyzed",
+]

@@ -1,0 +1,149 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Subsystems either own plain integer counters that
+``Database.metrics_snapshot()`` pulls (buffer pool, WAL, lock manager,
+transaction manager, plan cache — their counters predate this module) or
+push into a :class:`MetricsRegistry` (XNF fixpoint rounds/delta rows,
+statement latencies, slow-query count).  A registry snapshot is a plain
+nested dict, cheap to JSON-serialize and to diff in tests.
+
+Histograms keep count/sum/min/max plus fixed log-scale buckets — enough
+to read p50/p99-ish shape without unbounded memory.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Union
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+
+#: Histogram bucket upper bounds, in seconds, log-spaced 100µs → 10s.
+DEFAULT_BUCKETS = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+
+class Histogram:
+    """count/sum/min/max plus fixed cumulative-style buckets."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "bounds", "buckets")
+
+    def __init__(self, bounds: tuple = DEFAULT_BUCKETS):
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.bounds = bounds
+        self.buckets: List[int] = [0] * (len(bounds) + 1)  # +1 overflow
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        # first bucket whose upper bound is >= value; past-the-end is the
+        # overflow bucket
+        self.buckets[bisect_left(self.bounds, value)] += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": round(self.total / self.count, 6) if self.count else None,
+            "buckets": {
+                (f"le_{bound}" if idx < len(self.bounds) else "overflow"): n
+                for idx, (bound, n) in enumerate(
+                    zip(self.bounds + (float("inf"),), self.buckets)
+                )
+                if n
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors.
+
+    Names are dotted (``xnf.fixpoint.rounds``); :meth:`snapshot` returns
+    them flat so callers can group or prefix-filter as they like.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter()
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge()
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram()
+        return metric
+
+    # -- convenience write paths --------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: Union[int, float]) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- read side -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.snapshot()
+        return out
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

@@ -1,0 +1,57 @@
+"""Slow-query log: statements over a wall-time threshold, spans attached."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+
+@dataclass
+class SlowQuery:
+    """One logged statement."""
+
+    sql: str
+    duration_s: float
+    #: span tree of the statement (Span.to_dict() form), when tracing was on
+    trace: Optional[Dict[str, Any]] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class SlowQueryLog:
+    """Bounded log of statements slower than *threshold_s*.
+
+    ``threshold_s=None`` disables logging entirely (the default);
+    ``threshold_s=0.0`` logs every statement, which the tests use.
+    """
+
+    def __init__(self, threshold_s: Optional[float] = None, capacity: int = 128):
+        self.threshold_s = threshold_s
+        self._entries: Deque[SlowQuery] = deque(maxlen=capacity)
+        self.total_logged = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold_s is not None
+
+    def maybe_record(
+        self,
+        sql: str,
+        duration_s: float,
+        trace: Optional[Dict[str, Any]] = None,
+        **attrs: Any,
+    ) -> bool:
+        if self.threshold_s is None or duration_s < self.threshold_s:
+            return False
+        self._entries.append(SlowQuery(sql, duration_s, trace, dict(attrs)))
+        self.total_logged += 1
+        return True
+
+    def entries(self) -> List[SlowQuery]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,199 @@
+"""Lightweight span tracer for the statement pipeline.
+
+A :class:`Span` records one stage of work — name, wall time, and a small
+attribute dict (rows, plan-cache hit/miss, fixpoint round number, …) —
+plus its child spans, forming a tree per executed statement.  The
+:class:`Tracer` keeps a stack of open spans; the engine, the XNF compiler
+and the executor open spans around their stages, and whatever is on top of
+the stack becomes the parent of the next span.
+
+Tracing is cheap (two ``perf_counter`` calls and a list append per span;
+no per-row work) and on by default.  ``Tracer(enabled=False)`` — or
+``Database(tracing=False)`` — degrades every ``span()`` call to a shared
+no-op span so the hot path pays a single attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed stage with attributes and children.
+
+    A span doubles as its own context manager (closing it pops it off the
+    owning tracer's stack); the attribute dict is allocated lazily so the
+    per-span cost on the traced hot path stays at two ``perf_counter``
+    calls and a couple of list operations.
+    """
+
+    __slots__ = ("name", "_attrs", "start_s", "end_s", "children", "_tracer")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self._attrs = attrs
+        self.start_s = time.perf_counter()
+        self.end_s: Optional[float] = None
+        self.children: List["Span"] = []
+        self._tracer: Optional["Tracer"] = None
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        if self._attrs is None:
+            self._attrs = {}
+        return self._attrs
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end_s if self.end_s is not None else time.perf_counter()
+        return end - self.start_s
+
+    def finish(self) -> "Span":
+        if self.end_s is None:
+            self.end_s = time.perf_counter()
+        return self
+
+    def annotate(self, **attrs: Any) -> "Span":
+        if self._attrs is None:
+            self._attrs = attrs
+        else:
+            self._attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.annotate(error=type(exc).__name__)
+        if self._tracer is not None:
+            self._tracer._pop(self)
+        return False
+
+    # -- introspection -------------------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> List["Span"]:
+        """All spans named *name* in this subtree, pre-order."""
+        return [span for span in self.walk() if span.name == name]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of the span tree."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "duration_ms": round(self.duration_s * 1e3, 4),
+        }
+        if self._attrs:
+            out["attrs"] = dict(self._attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def render(self, indent: int = 0) -> str:
+        """Indented one-line-per-span rendering (EXPLAIN ANALYZE uses it).
+
+        A ``detail`` attribute (the instrumented operator tree the engine
+        attaches in analyze mode) is multiline: it is emitted indented
+        below the span's own line instead of inline.
+        """
+        detail = self._attrs.get("detail") if self._attrs else None
+        attrs = " ".join(
+            f"{k}={v}" for k, v in (self._attrs or {}).items() if k != "detail"
+        )
+        line = "  " * indent + (
+            f"{self.name}  {self.duration_s * 1e3:.3f} ms"
+            + (f"  [{attrs}]" if attrs else "")
+        )
+        lines = [line]
+        if detail is not None:
+            pad = "  " * (indent + 1)
+            lines.extend(pad + extra for extra in str(detail).splitlines())
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, {self.attrs})"
+
+
+class _NullSpan(Span):
+    """Shared do-nothing span handed out when tracing is disabled."""
+
+    def __init__(self) -> None:
+        super().__init__("<disabled>")
+        self.end_s = self.start_s
+
+    def annotate(self, **attrs: Any) -> "Span":
+        return self
+
+    def finish(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Stack-based span collector; one tree per top-level operation.
+
+    The root span of the most recently finished tree is kept in
+    :attr:`last_trace`; a bounded history of recent roots is in
+    :attr:`recent` (newest last).
+    """
+
+    def __init__(self, enabled: bool = True, history: int = 16):
+        self.enabled = enabled
+        self.history = history
+        self._stack: List[Span] = []
+        self.last_trace: Optional[Span] = None
+        self.recent: List[Span] = []
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Open a child span of whatever span is currently on the stack.
+
+        The returned span is a context manager; leaving the ``with`` block
+        finishes it (annotating the exception type if one is unwinding).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(name, attrs or None)
+        span._tracer = self
+        stack = self._stack
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+        return span
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes to the innermost open span (no-op when idle)."""
+        if self._stack:
+            self._stack[-1].annotate(**attrs)
+
+    def _pop(self, span: Span) -> None:
+        span.finish()
+        # Tolerate a stack disturbed by an exception unwinding several
+        # spans at once: pop down to (and including) the span being closed.
+        while self._stack:
+            top = self._stack.pop()
+            top.finish()
+            if top is span:
+                break
+        if not self._stack:
+            self.last_trace = span
+            self.recent.append(span)
+            if len(self.recent) > self.history:
+                del self.recent[: len(self.recent) - self.history]

@@ -25,6 +25,10 @@ from repro.errors import (
     SimulatedCrash,
     TransactionError,
 )
+from repro.obs.analyze import instrument_plan, render_analyzed
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer
 from repro.relational.catalog import Catalog, Column, Table
 from repro.relational.executor.exprs import PlanContext
 from repro.relational.executor.operators import SeqScan
@@ -174,6 +178,8 @@ class Database:
         statement_timeout_s: Optional[float] = None,
         io_retries: int = 3,
         io_retry_backoff_s: float = 0.001,
+        tracing: bool = True,
+        slow_query_threshold_s: Optional[float] = None,
     ):
         # An existing disk/WAL pair may be passed in: that is how a crashed
         # instance is reopened over its surviving stable storage (see
@@ -193,6 +199,16 @@ class Database:
         self.last_timings: Dict[str, float] = {}
         self.statements_executed = 0
         self.plan_cache = PlanCache(plan_cache_capacity)
+        #: span tracer: every statement leaves a tree in tracer.last_trace
+        self.tracer = Tracer(enabled=tracing)
+        #: process-wide named metrics (XNF fixpoint, statement latencies, …)
+        self.metrics = MetricsRegistry()
+        #: statements slower than the threshold, span trees attached
+        self.slow_query_log = SlowQueryLog(slow_query_threshold_s)
+        #: EXPLAIN ANALYZE mode: queries compile uncached and instrumented,
+        #: attaching per-operator row counts to their execute spans (the
+        #: XNF explain_analyze path flips this around an instantiation)
+        self.analyze_statements = False
         #: detached scratch worktables (name -> Table), parked here by the
         #: XNF layer between extractions; re-attaching skips version bumps
         #: so plans compiled against them stay cached.
@@ -202,13 +218,17 @@ class Database:
 
     def execute(self, sql: str) -> Result:
         """Execute one statement; the last result is returned for batches."""
-        statements = parse_statements(sql)
-        if not statements:
-            raise SQLError("empty statement")
-        result = Result()
-        for stmt in statements:
-            result = self.execute_ast(stmt)
-        return result
+        with self.tracer.span("statement", sql=sql[:200]):
+            start = time.perf_counter()
+            with self.tracer.span("parse"):
+                statements = parse_statements(sql)
+            self.last_timings["parse"] = time.perf_counter() - start
+            if not statements:
+                raise SQLError("empty statement")
+            result = Result()
+            for stmt in statements:
+                result = self.execute_ast(stmt)
+            return result
 
     def execute_script(self, sql: str) -> List[Result]:
         return [self.execute_ast(stmt) for stmt in parse_statements(sql)]
@@ -220,8 +240,47 @@ class Database:
         """Open an additional session (own transaction state, shared data)."""
         return Session(self, isolation)
 
+    _SPAN_NAMES: Dict[type, str] = {}
+
+    def _stmt_span_name(self, stmt: ast.Statement) -> str:
+        name = self._SPAN_NAMES.get(type(stmt))
+        if name is None:
+            kind = type(stmt).__name__.replace("Stmt", "").lower()
+            name = self._SPAN_NAMES[type(stmt)] = f"sql.{kind}"
+        return name
+
     def execute_ast(self, stmt: ast.Statement) -> Result:
         self.statements_executed += 1
+        start = time.perf_counter()
+        with self.tracer.span(self._stmt_span_name(stmt)) as span:
+            result = self._dispatch_ast(stmt)
+            if result.rowcount:
+                span.annotate(rows=result.rowcount)
+        elapsed = time.perf_counter() - start
+        self.metrics.observe("sql.statement_seconds", elapsed)
+        if self.slow_query_log.enabled:
+            self._maybe_log_slow(stmt, elapsed, span)
+        return result
+
+    def _maybe_log_slow(self, stmt: ast.Statement, elapsed: float, span) -> None:
+        if (
+            self.slow_query_log.threshold_s is None
+            or elapsed < self.slow_query_log.threshold_s
+        ):
+            return
+        try:
+            sql = stmt.to_sql()
+        except Exception:
+            sql = repr(stmt)
+        self.slow_query_log.maybe_record(
+            sql,
+            elapsed,
+            trace=span.to_dict() if self.tracer.enabled else None,
+            timings={k: round(v, 6) for k, v in self.last_timings.items()},
+        )
+        self.metrics.inc("sql.slow_statements")
+
+    def _dispatch_ast(self, stmt: ast.Statement) -> Result:
         if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
             return self._run_query(stmt)
         if isinstance(stmt, ast.InsertStmt):
@@ -241,7 +300,12 @@ class Database:
         if isinstance(stmt, ast.AnalyzeStmt):
             return self._run_analyze(stmt)
         if isinstance(stmt, ast.ExplainStmt):
-            lines = self._explain_text(stmt.query).splitlines()
+            text = (
+                self._explain_analyze_text(stmt.query)
+                if stmt.analyze
+                else self._explain_text(stmt.query)
+            )
+            lines = text.splitlines()
             return Result(["plan"], [(line,) for line in lines], len(lines))
         if isinstance(stmt, ast.BeginStmt):
             self.begin()
@@ -257,21 +321,69 @@ class Database:
     def explain(self, sql: str) -> str:
         """Return the physical plan of a query, as an indented tree, plus the
         current plan-cache counters."""
+        return self._explain_text(self._single_query(sql))
+
+    def explain_analyze(self, sql: str) -> str:
+        """Execute *sql* under operator instrumentation and return the plan
+        annotated with actual row counts, loops and cumulative times, plus
+        the pipeline's per-stage timings and the plan-cache counters.
+
+        Equivalent to ``execute("EXPLAIN ANALYZE <sql>")``.
+        """
+        start = time.perf_counter()
+        query = self._single_query(sql)
+        self.last_timings["parse"] = time.perf_counter() - start
+        return self._explain_analyze_text(query)
+
+    def _single_query(self, sql: str) -> ast.Query:
         statements = parse_statements(sql)
         if len(statements) != 1 or not isinstance(
             statements[0], (ast.SelectStmt, ast.SetOpStmt)
         ):
             raise SQLError("EXPLAIN supports a single query")
-        return self._explain_text(statements[0])
+        return statements[0]
 
     def _explain_text(self, query: ast.Query) -> str:
         # Compile outside the cache: EXPLAIN must not disturb the counters
         # it reports (the EXPLAIN statement and the explain() helper render
         # identical text for the same query).
         plan = self.compile_query(query, use_cache=False)
-        stats = self.plan_cache.stats()
         lines = plan.op.explain().splitlines()
-        lines.append(
+        lines.append(self._plan_cache_line())
+        return "\n".join(lines)
+
+    def _explain_analyze_text(self, query: ast.Query) -> str:
+        """EXPLAIN ANALYZE: run the query instrumented, render actuals.
+
+        The plan is compiled outside the cache so the shadowed (counting)
+        ``rows`` methods can never leak into a cached, shared plan.
+        """
+        for table in self._tables_of(query):
+            self._lock(table, LockMode.SHARED)
+        plan = self.compile_query(query, use_cache=False)
+        op_stats = instrument_plan(plan.op)
+        start = time.perf_counter()
+        rows = self._collect_rows(plan)
+        self.last_timings["execute"] = time.perf_counter() - start
+        self._end_of_statement()
+        lines = render_analyzed(plan.op, op_stats).splitlines()
+        lines.append(f"actual rows: {len(rows)}")
+        lines.append(self._stage_timings_line())
+        lines.append(self._plan_cache_line())
+        return "\n".join(lines)
+
+    def _stage_timings_line(self) -> str:
+        stages = ("parse", "build_qgm", "rewrite", "optimize", "execute")
+        parts = [
+            f"{stage}={self.last_timings[stage] * 1e3:.3f}ms"
+            for stage in stages
+            if stage in self.last_timings
+        ]
+        return "stages: " + " ".join(parts)
+
+    def _plan_cache_line(self) -> str:
+        stats = self.plan_cache.stats()
+        return (
             "plan cache: hits=%d misses=%d invalidations=%d entries=%d"
             % (
                 stats["hits"],
@@ -280,7 +392,6 @@ class Database:
                 stats["entries"],
             )
         )
-        return "\n".join(lines)
 
     # -- prepared statements -------------------------------------------------------
 
@@ -333,22 +444,27 @@ class Database:
                 {name: self.catalog.object_version(name) for name in deps},
             )
             self.plan_cache.store(key, entry)
+            self.tracer.annotate(plan_cache="miss")
         else:
             self.last_timings.update(
                 {"build_qgm": 0.0, "rewrite": 0.0, "optimize": 0.0}
             )
+            self.tracer.annotate(plan_cache="hit")
         return entry.plan
 
     def _compile_statement(self, query: ast.Query) -> CompiledPlan:
         timings: Dict[str, float] = {}
         start = time.perf_counter()
-        box = self.builder.build_query(query)
+        with self.tracer.span("build_qgm"):
+            box = self.builder.build_query(query)
         timings["build_qgm"] = time.perf_counter() - start
         start = time.perf_counter()
-        box = self._rewrite(box)
+        with self.tracer.span("rewrite"):
+            box = self._rewrite(box)
         timings["rewrite"] = time.perf_counter() - start
         start = time.perf_counter()
-        plan = Planner(self.catalog).plan_statement(box)
+        with self.tracer.span("optimize"):
+            plan = Planner(self.catalog).plan_statement(box)
         timings["optimize"] = time.perf_counter() - start
         self.last_timings.update(timings)
         return plan
@@ -366,9 +482,20 @@ class Database:
     def _run_query(self, query: ast.Query) -> Result:
         for table in self._tables_of(query):
             self._lock(table, LockMode.SHARED)
-        plan = self.compile_query(query)
+        op_stats = None
+        if self.analyze_statements:
+            # Analyze mode (XNF explain_analyze): bypass the cache so the
+            # instrumented operators stay private to this execution.
+            plan = self.compile_query(query, use_cache=False)
+            op_stats = instrument_plan(plan.op)
+        else:
+            plan = self.compile_query(query)
         start = time.perf_counter()
-        rows = self._collect_rows(plan)
+        with self.tracer.span("execute") as span:
+            rows = self._collect_rows(plan)
+            span.annotate(rows=len(rows))
+            if op_stats is not None:
+                span.annotate(detail=render_analyzed(plan.op, op_stats))
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
         return Result(plan.columns, rows, len(rows))
@@ -382,7 +509,9 @@ class Database:
         plan = self._cached_plan(normalized)
         plan.context.params[:] = values + list(normalized.lifted_values)
         start = time.perf_counter()
-        rows = self._collect_rows(plan)
+        with self.tracer.span("execute") as span:
+            rows = self._collect_rows(plan)
+            span.annotate(rows=len(rows))
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
         return Result(plan.columns, rows, len(rows))
@@ -422,6 +551,7 @@ class Database:
                 return rows
             except IOFaultError as err:
                 if err.transient and attempt < self.io_retries:
+                    self.metrics.inc("sql.statement_retries")
                     if backoff > 0:
                         time.sleep(backoff)
                     backoff *= 2
@@ -462,6 +592,7 @@ class Database:
                 except IOFaultError as err:
                     self.txn_manager.rollback_statement(txn, mark)
                     if err.transient and attempt < self.io_retries:
+                        self.metrics.inc("sql.statement_retries")
                         if backoff > 0:
                             time.sleep(backoff)
                         backoff *= 2
@@ -783,6 +914,49 @@ class Database:
             "buffer_hits": self.buffer_pool.hits,
             "buffer_misses": self.buffer_pool.misses,
             "evictions": self.buffer_pool.evictions,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """One coherent snapshot of every subsystem's counters.
+
+        Sections: ``buffer`` (hit rate, evictions, pins), ``disk``,
+        ``wal`` (flushes, bytes, torn-flush repairs), ``locks``
+        (acquisitions, no-wait conflicts), ``txn`` (commits/aborts/
+        retries), ``fixpoint`` (XNF rounds, delta rows, guard trips),
+        ``plan_cache``, and ``statements`` (count, latency histogram,
+        slow-query log size).  Values are plain ints/floats/dicts — the
+        whole snapshot is JSON-serializable.
+        """
+        registry = self.metrics.snapshot()
+        fixpoint = {
+            name[len("xnf.fixpoint."):]: value
+            for name, value in registry.items()
+            if name.startswith("xnf.fixpoint.")
+        }
+        fixpoint.setdefault("rounds", 0)
+        fixpoint.setdefault("delta_rows", 0)
+        fixpoint.setdefault("instantiations", 0)
+        fixpoint.setdefault("guard_trips", 0)
+        return {
+            "buffer": self.buffer_pool.metrics(),
+            "disk": {"reads": self.disk.reads, "writes": self.disk.writes},
+            "wal": self.txn_manager.wal.metrics(),
+            "locks": self.txn_manager.locks.metrics(),
+            "txn": {
+                **self.txn_manager.metrics(),
+                "statement_retries": self.metrics.counter(
+                    "sql.statement_retries"
+                ).value,
+            },
+            "fixpoint": fixpoint,
+            "plan_cache": self.plan_cache.stats(),
+            "statements": {
+                "executed": self.statements_executed,
+                "latency": self.metrics.histogram(
+                    "sql.statement_seconds"
+                ).snapshot(),
+                "slow_logged": self.slow_query_log.total_logged,
+            },
         }
 
     def reset_io_stats(self) -> None:

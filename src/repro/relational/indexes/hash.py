@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.relational.indexes.base import Index, Key
 from repro.relational.storage.heap import RID

@@ -7,7 +7,7 @@ join order and access-path choice; execution is always exact.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Optional
 
 from repro.relational.catalog import Table
 from repro.relational.qgm.model import (

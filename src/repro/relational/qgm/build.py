@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CatalogError, ParseError, TypeCheckError
+from repro.errors import CatalogError, TypeCheckError
 from repro.relational.catalog import Catalog
 from repro.relational.qgm.model import (
     BaseTableBox,

@@ -13,8 +13,8 @@ Resolved expressions reuse the SQL AST node classes, with two additions:
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
 
 from repro.relational.sql import ast
 

@@ -12,7 +12,7 @@ Rules run to a (bounded) fixpoint.  Each rule preserves bag semantics:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import ExecutionError
 from repro.relational.qgm.model import (

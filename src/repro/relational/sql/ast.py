@@ -438,9 +438,15 @@ class DropStmt:
 
 @dataclass
 class ExplainStmt:
-    """EXPLAIN <query>: returns the physical plan as one text column."""
+    """EXPLAIN [ANALYZE] <query>: the physical plan as one text column.
+
+    With ``analyze`` the query is also *executed* under operator-level
+    instrumentation and the plan is annotated with actual row counts and
+    cumulative times (plus the pipeline's per-stage timings).
+    """
 
     query: "Query"
+    analyze: bool = False
 
 
 @dataclass

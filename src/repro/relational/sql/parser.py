@@ -139,7 +139,8 @@ class SQLParser:
                 table = self.expect_ident("table name")
             return ast.AnalyzeStmt(table)
         if self.accept_keyword("EXPLAIN"):
-            return ast.ExplainStmt(self.parse_query())
+            analyze = bool(self.accept_keyword("ANALYZE"))
+            return ast.ExplainStmt(self.parse_query(), analyze=analyze)
         if self.accept_keyword("BEGIN"):
             self.accept_keyword("TRANSACTION")
             return ast.BeginStmt()

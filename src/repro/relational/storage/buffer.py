@@ -9,7 +9,7 @@ object, which shows up directly as fewer misses for the same trace.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict
+from typing import Any, Dict
 
 from repro.errors import ExecutionError
 from repro.relational.storage.disk import DiskManager
@@ -29,6 +29,8 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: total pin operations (fetches + page allocations), for metrics
+        self.pin_count = 0
         #: WAL-ahead hook: called with the page about to be written to
         #: disk (eviction or checkpoint); the engine wires this to a WAL
         #: flush up to the page's LSN so no page with unlogged changes can
@@ -44,6 +46,7 @@ class BufferPool:
 
     def fetch(self, page_id: int) -> Page:
         """Pin and return the page, reading it from disk on a miss."""
+        self.pin_count += 1
         if page_id in self._frames:
             self.hits += 1
             self._frames.move_to_end(page_id)
@@ -66,6 +69,7 @@ class BufferPool:
 
     def new_page(self) -> Page:
         """Allocate a fresh page on disk and pin it in the pool."""
+        self.pin_count += 1
         page_id = self.disk.allocate()
         self._evict_if_full()
         page = Page(page_id, self.disk.page_size)
@@ -104,6 +108,21 @@ class BufferPool:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.pin_count = 0
+
+    def metrics(self) -> Dict[str, Any]:
+        """Counter snapshot for ``Database.metrics_snapshot()``."""
+        looked_up = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "pins": self.pin_count,
+            "hit_rate": round(self.hits / looked_up, 4) if looked_up else None,
+            "resident_pages": len(self._frames),
+            "pinned_pages": sum(1 for pins in self._pins.values() if pins > 0),
+            "capacity": self.capacity,
+        }
 
     def _evict_if_full(self) -> None:
         while len(self._frames) >= self.capacity:

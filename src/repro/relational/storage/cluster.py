@@ -14,7 +14,7 @@ per object instead of one page run per component table (experiment E4).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.relational.storage.buffer import BufferPool
 from repro.relational.storage.heap import HeapFile, RID

@@ -25,7 +25,7 @@ detected every one of them.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import IOFaultError, SimulatedCrash

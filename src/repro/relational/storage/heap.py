@@ -8,7 +8,7 @@ achieves composite-object clustering without changing the executor.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, NamedTuple, Optional, Tuple
+from typing import Any, Iterator, List, NamedTuple, Tuple
 
 from repro.errors import ExecutionError
 from repro.relational.storage.buffer import BufferPool

@@ -25,6 +25,11 @@ class LockManager:
     def __init__(self):
         # table -> {txn_id: mode}
         self._locks: Dict[str, Dict[int, LockMode]] = {}
+        #: granted lock requests (upgrades and re-grants included)
+        self.acquisitions = 0
+        #: no-wait conflicts surfaced as DeadlockError (= waits + timeouts
+        #: collapsed into one event under the no-wait policy)
+        self.conflicts = 0
 
     def acquire(self, txn_id: int, table: str, mode: LockMode) -> None:
         holders = self._locks.setdefault(table, {})
@@ -34,15 +39,18 @@ class LockManager:
         others = {t: m for t, m in holders.items() if t != txn_id}
         if mode is LockMode.SHARED:
             if any(m is LockMode.EXCLUSIVE for m in others.values()):
+                self.conflicts += 1
                 raise DeadlockError(
                     f"txn {txn_id}: table {table} is X-locked by another transaction"
                 )
         else:
             if others:
+                self.conflicts += 1
                 raise DeadlockError(
                     f"txn {txn_id}: table {table} is locked by another transaction"
                 )
         holders[txn_id] = mode
+        self.acquisitions += 1
 
     def release(self, txn_id: int, table: str) -> None:
         holders = self._locks.get(table)
@@ -60,6 +68,14 @@ class LockManager:
         for table, holders in list(self._locks.items()):
             if holders.get(txn_id) is LockMode.SHARED:
                 self.release(txn_id, table)
+
+    def metrics(self) -> Dict[str, int]:
+        """Counter snapshot for ``Database.metrics_snapshot()``."""
+        return {
+            "acquisitions": self.acquisitions,
+            "conflicts": self.conflicts,
+            "held": sum(len(holders) for holders in self._locks.values()),
+        }
 
     def held(self, txn_id: int) -> Set[Tuple[str, LockMode]]:
         return {

@@ -34,7 +34,7 @@ from repro.errors import IOFaultError, TransactionError
 from repro.relational.catalog import Table
 from repro.relational.storage.heap import RID
 from repro.relational.txn import wal as wal_kinds
-from repro.relational.txn.locks import LockManager, LockMode
+from repro.relational.txn.locks import LockManager
 from repro.relational.txn.wal import LogRecord, WriteAheadLog
 
 
@@ -80,6 +80,14 @@ class TransactionManager:
         self.wal = wal if wal is not None else WriteAheadLog()
         self._ids = itertools.count(1)
         self._active: Dict[int, Transaction] = {}
+        self.begun = 0
+        self.commits = 0
+        self.aborts = 0
+        #: commit attempts bounced because the WAL could not be forced
+        #: (the transaction stays active — the engine may retry)
+        self.commit_flush_failures = 0
+        #: statement-level rollbacks (partial undo, transaction stays open)
+        self.statement_rollbacks = 0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -92,6 +100,7 @@ class TransactionManager:
         record = self.wal.append(txn.txn_id, wal_kinds.BEGIN)
         txn.last_lsn = record.lsn
         self._active[txn.txn_id] = txn
+        self.begun += 1
         return txn
 
     def commit(self, txn: Transaction) -> None:
@@ -101,6 +110,7 @@ class TransactionManager:
         # WAL rule first: the transaction's own records must be stable
         # before the commit point exists at all.
         if not self._flush_upto(txn.last_lsn):
+            self.commit_flush_failures += 1
             raise IOFaultError(
                 f"commit of txn {txn.txn_id}: WAL flush failed before "
                 "commit point; transaction still active"
@@ -110,10 +120,12 @@ class TransactionManager:
             # The COMMIT never reached stable storage; retract it so a
             # subsequent rollback/ABORT does not contradict the log.
             self.wal.retract_tail_record(record.lsn)
+            self.commit_flush_failures += 1
             raise IOFaultError(
                 f"commit of txn {txn.txn_id}: COMMIT record could not be "
                 "made stable; transaction still active"
             )
+        self.commits += 1
         txn.active = False
         txn.undo.clear()
         self._active.pop(txn.txn_id, None)
@@ -123,6 +135,7 @@ class TransactionManager:
         self._check_active(txn)
         self._undo_to_mark(txn, 0)
         self.wal.append(txn.txn_id, wal_kinds.ABORT)
+        self.aborts += 1
         txn.active = False
         txn.undo.clear()
         self._active.pop(txn.txn_id, None)
@@ -136,6 +149,7 @@ class TransactionManager:
         Returns the number of actions undone.
         """
         self._check_active(txn)
+        self.statement_rollbacks += 1
         return self._undo_to_mark(txn, mark)
 
     def _undo_to_mark(self, txn: Transaction, mark: int) -> int:
@@ -249,6 +263,17 @@ class TransactionManager:
         txn.last_lsn = record.lsn
         table.stamp_lsn(rid, record.lsn)
         return record
+
+    def metrics(self) -> Dict[str, int]:
+        """Counter snapshot for ``Database.metrics_snapshot()``."""
+        return {
+            "begun": self.begun,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "commit_flush_failures": self.commit_flush_failures,
+            "statement_rollbacks": self.statement_rollbacks,
+            "active": len(self._active),
+        }
 
     # -- checkpoints ----------------------------------------------------------
 

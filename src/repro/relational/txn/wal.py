@@ -108,6 +108,11 @@ class WriteAheadLog:
         self._lsn = itertools.count(1)
         self.fault_injector: Optional["FaultInjector"] = None
         self.flushes = 0
+        self.dropped_flushes = 0
+        self.torn_flushes = 0
+        self.torn_repairs = 0
+        self.records_flushed = 0
+        self.bytes_flushed = 0
 
     # -- append / flush ------------------------------------------------------
 
@@ -149,17 +154,25 @@ class WriteAheadLog:
         if self.fault_injector is not None:
             disposition = self.fault_injector.on_wal_flush(len(self._tail))
         if disposition == "drop":
+            self.dropped_flushes += 1
             return self.stable_lsn  # dropped: tail stays volatile
         self._repair_torn_end()
         if disposition == "torn":
+            self.torn_flushes += 1
             batch = list(self._tail)
             last = batch[-1]
             self._stable.extend(batch[:-1])
+            self.records_flushed += len(batch) - 1
+            self.bytes_flushed += sum(
+                len(repr(record)) for record in batch[:-1]
+            )
             self._stable.append(replace(last, crc=last.crc ^ 0xFFFFFFFF))
             # The final record never fully persisted: keep it buffered so a
             # retry can complete the flush.
             self._tail = [last]
             return self.stable_lsn
+        self.records_flushed += len(self._tail)
+        self.bytes_flushed += sum(len(repr(record)) for record in self._tail)
         self._stable.extend(self._tail)
         self._tail.clear()
         return self.stable_lsn
@@ -172,6 +185,7 @@ class WriteAheadLog:
         """
         if self._stable and not self._stable[-1].verify():
             self._stable.pop()
+            self.torn_repairs += 1
 
     def retract_tail_record(self, lsn: int) -> bool:
         """Remove a not-yet-stable record (commit backs out of a failed
@@ -220,6 +234,20 @@ class WriteAheadLog:
     def records(self) -> List[LogRecord]:
         """Runtime logical view: stable region plus the volatile tail."""
         return self._stable + self._tail
+
+    def metrics(self) -> Dict[str, int]:
+        """Counter snapshot for ``Database.metrics_snapshot()``."""
+        return {
+            "flushes": self.flushes,
+            "dropped_flushes": self.dropped_flushes,
+            "torn_flushes": self.torn_flushes,
+            "torn_repairs": self.torn_repairs,
+            "records_flushed": self.records_flushed,
+            "bytes_flushed": self.bytes_flushed,
+            "stable_lsn": self.stable_lsn,
+            "stable_records": len(self._stable),
+            "tail_records": len(self._tail),
+        }
 
     def committed_txns(self) -> set:
         return {r.txn_id for r in self.records if r.kind == COMMIT}

@@ -20,7 +20,6 @@ same CO abstraction is derived from either representation.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.relational.engine import Database
 from repro.xnf.api import XNFSession

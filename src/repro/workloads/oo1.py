@@ -19,7 +19,7 @@ cyclic relationship carried by role names.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.relational.engine import Database
 from repro.xnf.api import CompositeObject, XNFSession

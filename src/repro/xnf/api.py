@@ -9,6 +9,7 @@ SQL applications (which need no change whatsoever).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Union
 
 from repro.errors import XNFError
@@ -222,6 +223,57 @@ class XNFSession:
     def classify(self, source: Union[str, xast.XNFStatement]) -> closure_mod.QueryClass:
         """Fig. 6 query classification."""
         return closure_mod.classify(source)
+
+    def explain_analyze(self, source: str) -> str:
+        """Run a TAKE query instrumented and render its full span tree.
+
+        The rendering shows the XNF pipeline end to end: one span per
+        reachability fixpoint round (with its delta-row count), every
+        generated SQL statement with its per-operator actual row counts
+        (the engine's analyze mode compiles them uncached and
+        instrumented), aggregated per-stage timings, and the plan-cache
+        counters.
+        """
+        db = self.db
+        start = time.perf_counter()
+        statements = parse_xnf_statements(source)
+        parse_s = time.perf_counter() - start
+        if len(statements) != 1 or not isinstance(statements[0], xast.XNFQuery):
+            raise XNFError("explain_analyze() expects a single TAKE query")
+        saved = (db.tracer.enabled, db.analyze_statements)
+        db.tracer.enabled = True
+        db.analyze_statements = True
+        try:
+            begin = time.perf_counter()
+            self._run_take(statements[0])
+            total_s = time.perf_counter() - begin
+        finally:
+            db.tracer.enabled, db.analyze_statements = saved
+        trace = db.tracer.last_trace
+        assert trace is not None
+        stages = {"parse": parse_s}
+        for name in ("build_qgm", "rewrite", "optimize", "execute"):
+            stages[name] = sum(span.duration_s for span in trace.find(name))
+        lines = trace.render().splitlines()
+        lines.append(
+            "stages: "
+            + " ".join(f"{k}={v * 1e3:.3f}ms" for k, v in stages.items())
+        )
+        lines.append(
+            f"fixpoint rounds: {len(trace.find('xnf.fixpoint.round'))}  "
+            f"total: {total_s * 1e3:.3f}ms"
+        )
+        stats = db.plan_cache.stats()
+        lines.append(
+            "plan cache: hits=%d misses=%d invalidations=%d entries=%d"
+            % (
+                stats["hits"],
+                stats["misses"],
+                stats["invalidations"],
+                stats["entries"],
+            )
+        )
+        return "\n".join(lines)
 
     def describe(self, source: str) -> str:
         """Resolve a query and render its CO schema graph."""

@@ -13,9 +13,9 @@ the OO1-style benchmark (experiment E1).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import CursorError, XNFError
+from repro.errors import XNFError
 from repro.xnf.schema import COSchema
 from repro.xnf.semantic_rewrite import COInstance
 from repro.xnf.stream import (

@@ -18,12 +18,11 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import List, Optional, Union
+from typing import Optional, Union
 
 from repro.errors import ParseError, XNFError
 from repro.relational.catalog import Column
 from repro.relational.engine import Database
-from repro.relational.types import SQLType
 from repro.xnf.cache import COCache
 from repro.xnf.lang import xast
 from repro.xnf.lang.parser import parse_xnf_statements

@@ -17,7 +17,7 @@ notation; inside XNF text write subtraction with surrounding spaces.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from repro.errors import ParseError
 from repro.relational.sql import ast as sql_ast

@@ -21,13 +21,13 @@ The paper's update philosophy, implemented rule for rule:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.errors import UpdatabilityError, XNFError
 from repro.relational.engine import Database
 from repro.relational.sql import ast as sql_ast
 from repro.xnf.cache import CachedTuple, COCache, Connection
-from repro.xnf.schema import COSchema, EdgeSchema, NodeSchema
+from repro.xnf.schema import EdgeSchema, NodeSchema
 
 
 @dataclass
@@ -264,7 +264,6 @@ class Manipulator:
                 # FK disconnect would nullify the very row being deleted —
                 # skip the base write when the FK lives on the deleted side.
                 edge_info = self.edge_info(edge_name)
-                edge = self.cache.schema.edges[edge_name]
                 if edge_info.kind == "fk" and conn.child is cached:
                     conn.alive = False
                     continue

@@ -17,7 +17,7 @@ disambiguating cyclic relationships.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import PathError, XNFError
 from repro.relational.sql import ast as sql_ast

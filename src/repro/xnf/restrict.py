@@ -43,7 +43,7 @@ def apply_instance_restrictions(
             edge = cache.schema.edges.get(restriction.edge)
             if edge is not None and not edge.is_binary:
                 raise XNFError(
-                    f"edge restriction on n-ary relationship "
+                    "edge restriction on n-ary relationship "
                     f"{restriction.edge!r} is not supported"
                 )
             for conn in cache.connections_of(restriction.edge):

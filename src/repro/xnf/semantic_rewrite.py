@@ -34,7 +34,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CatalogError, ResourceExhaustedError, TypeCheckError, XNFError
+from repro.errors import CatalogError, ResourceExhaustedError, TypeCheckError
 from repro.relational.catalog import Column, Table
 from repro.relational.engine import Database
 from repro.relational.sql import ast as sql_ast
@@ -111,10 +111,20 @@ class XNFCompiler:
     def instantiate(self, schema: COSchema) -> COInstance:
         self._current_schema = schema
         schema.validate()
-        try:
-            return self._instantiate(schema)
-        finally:
-            self._release_temp_tables()
+        self.db.metrics.inc("xnf.fixpoint.instantiations")
+        with self.db.tracer.span(
+            "xnf.instantiate", co=schema.name or "<anonymous>"
+        ) as span:
+            try:
+                instance = self._instantiate(schema)
+            finally:
+                self._release_temp_tables()
+            span.annotate(
+                rounds=self.stats.iterations,
+                tuples=instance.total_tuples(),
+                connections=instance.total_connections(),
+            )
+            return instance
 
     # -- candidate sets ------------------------------------------------------------
 
@@ -182,31 +192,42 @@ class XNFCompiler:
                 delta[root][row] = None
 
         edges = list(schema.edges.values())
+        tracer = self.db.tracer
+        metrics = self.db.metrics
         fixpoint_start = time.perf_counter()
         while any(delta.values()):
             self._check_guards(reachable, fixpoint_start)
             self.stats.iterations += 1
-            new_delta: Dict[str, Dict[Row, None]] = {
-                name: {} for name in schema.nodes
-            }
-            for edge in edges:
-                source = (
-                    delta[edge.parent] if self.semi_naive else reachable[edge.parent]
-                )
-                if not source:
-                    continue
-                derived = self._derive_children(
-                    edge, columns, candidate_tables, list(source)
-                )
-                for child_name, rows in derived.items():
-                    target = reachable[child_name]
-                    pending = new_delta[child_name]
-                    for row in rows:
-                        if row not in target and row not in pending:
-                            pending[row] = None
-            for name, rows in new_delta.items():
-                reachable[name].update(rows)
-            delta = new_delta
+            with tracer.span(
+                "xnf.fixpoint.round", round=self.stats.iterations
+            ) as round_span:
+                new_delta: Dict[str, Dict[Row, None]] = {
+                    name: {} for name in schema.nodes
+                }
+                for edge in edges:
+                    source = (
+                        delta[edge.parent]
+                        if self.semi_naive
+                        else reachable[edge.parent]
+                    )
+                    if not source:
+                        continue
+                    derived = self._derive_children(
+                        edge, columns, candidate_tables, list(source)
+                    )
+                    for child_name, rows in derived.items():
+                        target = reachable[child_name]
+                        pending = new_delta[child_name]
+                        for row in rows:
+                            if row not in target and row not in pending:
+                                pending[row] = None
+                for name, rows in new_delta.items():
+                    reachable[name].update(rows)
+                delta = new_delta
+                delta_rows = sum(len(rows) for rows in delta.values())
+                round_span.annotate(delta_rows=delta_rows)
+                metrics.inc("xnf.fixpoint.rounds")
+                metrics.inc("xnf.fixpoint.delta_rows", delta_rows)
 
         for name in schema.nodes:
             instance.rows[name] = list(reachable[name])
@@ -215,9 +236,11 @@ class XNFCompiler:
         # materialised reachable sets (another shared subexpression).
         reachable_tables: Dict[str, str] = {}
         for edge in edges:
-            instance.connections[edge.name] = self._derive_connections(
-                edge, instance, reachable_tables
-            )
+            with tracer.span("xnf.connections", edge=edge.name) as span:
+                instance.connections[edge.name] = self._derive_connections(
+                    edge, instance, reachable_tables
+                )
+                span.annotate(rows=len(instance.connections[edge.name]))
         return instance
 
     def _check_guards(
@@ -231,6 +254,7 @@ class XNFCompiler:
         a successful run.
         """
         if self.max_rounds is not None and self.stats.iterations >= self.max_rounds:
+            self.db.metrics.inc("xnf.fixpoint.guard_trips")
             raise ResourceExhaustedError(
                 f"XNF fixpoint exceeded {self.max_rounds} rounds "
                 "(recursive CO did not converge)"
@@ -238,6 +262,7 @@ class XNFCompiler:
         if self.max_rows is not None:
             total = sum(len(rows) for rows in reachable.values())
             if total > self.max_rows:
+                self.db.metrics.inc("xnf.fixpoint.guard_trips")
                 raise ResourceExhaustedError(
                     f"XNF fixpoint exceeded {self.max_rows} reachable rows "
                     f"(got {total})"
@@ -246,6 +271,7 @@ class XNFCompiler:
             self.timeout_s is not None
             and time.perf_counter() - started > self.timeout_s
         ):
+            self.db.metrics.inc("xnf.fixpoint.guard_trips")
             raise ResourceExhaustedError(
                 f"XNF fixpoint exceeded timeout of {self.timeout_s}s"
             )

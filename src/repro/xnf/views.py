@@ -15,7 +15,7 @@ discarded implicitly (well-formedness).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
 from repro.errors import SchemaGraphError, XNFError
 from repro.relational.sql import ast as sql_ast

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.relational.engine import Database
-from repro.workloads import company, design, oo1
+from repro.workloads import company, oo1
 from repro.xnf.api import XNFSession
 
 

@@ -1,0 +1,68 @@
+"""Unit tests for the metrics registry (PR 3 tentpole, part 3)."""
+
+import json
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_holds_last_value(self):
+        gauge = Gauge()
+        gauge.set(3.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_histogram_summary_and_buckets(self):
+        hist = Histogram()
+        for value in (0.0002, 0.002, 0.002, 1.5):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["min"] == 0.0002
+        assert snap["max"] == 1.5
+        assert abs(snap["sum"] - 1.5042) < 1e-9
+        # sparse buckets: only touched upper bounds appear
+        assert sum(snap["buckets"].values()) == 4
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_inc_set_observe_shorthands(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2)
+        registry.set("depth", 7)
+        registry.observe("lat", 0.01)
+        snap = registry.snapshot()
+        assert snap["hits"] == 3
+        assert snap["depth"] == 7
+        assert snap["lat"]["count"] == 1
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.inc("x.y.count")
+        registry.observe("x.y.seconds", 0.5)
+        json.dumps(registry.snapshot())
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.observe("b", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {}

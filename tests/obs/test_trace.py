@@ -1,0 +1,109 @@
+"""Unit tests for the span tracer (PR 3 tentpole, part 1)."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_follows_the_stack(self):
+        tracer = Tracer()
+        with tracer.span("statement", sql="SELECT 1"):
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute") as ex:
+                ex.annotate(rows=3)
+        root = tracer.last_trace
+        assert root is not None
+        assert root.name == "statement"
+        assert [c.name for c in root.children] == ["parse", "execute"]
+        assert root.children[1].attrs["rows"] == 3
+        assert root.attrs["sql"] == "SELECT 1"
+
+    def test_durations_are_finished_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        root = tracer.last_trace
+        assert root.end_s is not None
+        inner = root.children[0]
+        assert inner.end_s is not None
+        assert inner.duration_s <= root.duration_s
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        root = tracer.last_trace
+        assert [s.name for s in root.walk()] == ["a", "b", "b", "c"]
+        assert len(root.find("b")) == 2
+        assert root.find("missing") == []
+
+    def test_to_dict_round_trips_through_json(self):
+        tracer = Tracer()
+        with tracer.span("statement", sql="SELECT 1"):
+            with tracer.span("execute") as ex:
+                ex.annotate(rows=1)
+        payload = json.loads(tracer.last_trace.to_json())
+        assert payload["name"] == "statement"
+        assert payload["children"][0]["attrs"]["rows"] == 1
+        assert payload["children"][0]["duration_ms"] >= 0
+
+    def test_render_indents_children_and_detail(self):
+        span = Span("execute", {"rows": 2, "detail": "Op1\n  Op2"})
+        span.finish()
+        lines = span.render().splitlines()
+        assert lines[0].startswith("execute")
+        assert "[rows=2]" in lines[0]
+        # detail is multiline, indented below the span line, never inline
+        assert lines[1].strip() == "Op1"
+        assert lines[2].strip() == "Op2"
+
+
+class TestTracerLifecycle:
+    def test_exception_annotates_and_unwinds(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        # both spans closed; the tree is complete and error-tagged
+        root = tracer.last_trace
+        assert root.name == "outer"
+        assert root.end_s is not None
+        assert root.children[0].attrs["error"] == "ValueError"
+        assert tracer.current() is None
+
+    def test_disabled_tracer_hands_out_null_span(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything", key="value") as span:
+            assert span is NULL_SPAN
+            span.annotate(rows=5)  # swallowed
+        assert tracer.last_trace is None
+        assert tracer.recent == []
+
+    def test_history_is_bounded(self):
+        tracer = Tracer(history=3)
+        for n in range(10):
+            with tracer.span(f"op{n}"):
+                pass
+        assert len(tracer.recent) == 3
+        assert [s.name for s in tracer.recent] == ["op7", "op8", "op9"]
+        assert tracer.last_trace.name == "op9"
+
+    def test_annotate_targets_innermost_open_span(self):
+        tracer = Tracer()
+        tracer.annotate(ignored=True)  # no open span: no-op, no error
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.annotate(plan_cache="hit")
+        root = tracer.last_trace
+        assert "ignored" not in root.attrs
+        assert root.children[0].attrs["plan_cache"] == "hit"

@@ -7,7 +7,6 @@ from repro.errors import (
     ExecutionError,
     IntegrityError,
 )
-from repro.relational.engine import Database
 
 
 class TestInsert:

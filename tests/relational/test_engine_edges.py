@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import SQLError
 from repro.relational.engine import Database
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import CatalogError, ExecutionError, TypeCheckError
-from repro.relational.engine import Database
 
 
 class TestBasicSelect:

@@ -12,7 +12,6 @@ import pytest
 from repro.errors import SQLError
 from repro.relational.engine import Database
 from repro.relational.plancache import normalize_statement
-from repro.relational.sql import ast
 from repro.relational.sql.parser import parse_statements
 
 

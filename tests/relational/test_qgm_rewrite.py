@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import CatalogError, TypeCheckError
-from repro.relational.engine import Database
 from repro.relational.qgm.build import QGMBuilder
 from repro.relational.qgm.model import (
     BaseTableBox,
@@ -154,7 +153,7 @@ class TestRewriteRules:
             "SELECT pid AS v FROM PETS) AS u WHERE u.v > 5",
         )
         rewriter = Rewriter()
-        rewritten = rewriter.rewrite(box)
+        rewriter.rewrite(box)
         assert rewriter.pushdowns >= 1
 
     def test_constant_folding(self, builder):

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.errors import DeadlockError, TransactionError
-from repro.relational.engine import Database
+from repro.errors import DeadlockError
 from repro.relational.txn.manager import IsolationLevel
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import XNFError
 from repro.workloads import company
-from repro.xnf.api import CompositeObject, XNFSession
+from repro.xnf.api import CompositeObject
 from repro.xnf.closure import QueryClass, classify, materialize_node
 
 

@@ -216,7 +216,7 @@ class TestFigure6:
 
     def test_type3_xnf_to_nf(self, fig4_session, fig4_db):
         co = fig4_session.query("OUT OF ALL-DEPS TAKE *")
-        table = co.to_table("Xemp", "CO_EMPS")
+        co.to_table("Xemp", "CO_EMPS")
         result = fig4_db.execute(
             "SELECT COUNT(*) FROM CO_EMPS WHERE sal > 150"
         )

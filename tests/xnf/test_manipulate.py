@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import UpdatabilityError, XNFError
+from repro.errors import UpdatabilityError
 from repro.workloads import company
 from repro.xnf.api import XNFSession
 from repro.xnf.manipulate import analyze_edge, analyze_node

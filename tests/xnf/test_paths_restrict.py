@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.errors import PathError, XNFError
-from repro.workloads import company
+from repro.errors import PathError
 from repro.xnf.api import XNFSession
 
 

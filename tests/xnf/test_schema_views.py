@@ -4,8 +4,7 @@ import pytest
 
 from repro.errors import SchemaGraphError
 from repro.xnf.lang.parser import parse_xnf
-from repro.xnf.schema import COSchema, EdgeSchema, NodeSchema
-from repro.xnf.views import XNFViewCatalog, apply_take, contains_path, resolve
+from repro.xnf.views import XNFViewCatalog, contains_path, resolve
 
 
 def make_views():

@@ -125,7 +125,6 @@ class TestSemiNaiveAblation:
     """semi_naive=False re-joins the full reachable set per round (E6)."""
 
     def test_results_identical_on_recursive_co(self, fig4_db):
-        views = XNFViewCatalog()
         session = XNFSession(fig4_db)
         company.create_paper_views(session)
         stored = session.views.get("EXT-ALL-DEPS-ORG")

@@ -5,7 +5,6 @@ schemas, snapshot of projected views."""
 import pytest
 
 from repro.errors import UpdatabilityError, XNFError
-from repro.workloads import company
 from repro.xnf.api import XNFSession
 
 
