@@ -16,6 +16,17 @@ against the committed ``benchmarks/baseline.json``:
   fails the gate (a silently-skipped benchmark is a regression too);
   a new module not yet in the baseline is reported but passes.
 
+It additionally gates the observability cost ledger
+(``BENCH_observability.json``, written by ``bench_observability.py``):
+
+* **tracing overhead** — the measured tracing + statement-stats cost
+  ratio may not exceed ``TRACING_OVERHEAD_BUDGET`` (default 0.05, i.e.
+  the ISSUE's 5% budget);
+* **SYS scan cost** — the acceptance query + SYS join must stay under
+  ``SYS_SCAN_BUDGET_MS`` (default 50 ms — generous; it guards against
+  accidentally quadratic snapshot providers, not µs-level drift);
+* a missing observability ledger fails the gate.
+
 ``--update`` regenerates the baseline from the fresh ledger (run the
 benchmark smoke first, then commit the result).
 
@@ -31,11 +42,16 @@ import sys
 
 HERE = pathlib.Path(__file__).resolve().parent
 LEDGER_PATH = HERE.parent / "BENCH_plan_cache.json"
+OBSERVABILITY_LEDGER_PATH = HERE.parent / "BENCH_observability.json"
 BASELINE_PATH = HERE / "baseline.json"
 
 TOLERANCE = float(os.environ.get("PERF_TOLERANCE", "0.30"))
 WALL_FLOOR_S = float(os.environ.get("PERF_WALL_FLOOR_S", "0.1"))
 HIT_RATE_BAND = float(os.environ.get("PERF_HIT_RATE_BAND", "0.05"))
+TRACING_OVERHEAD_BUDGET = float(
+    os.environ.get("TRACING_OVERHEAD_BUDGET", "0.05")
+)
+SYS_SCAN_BUDGET_MS = float(os.environ.get("SYS_SCAN_BUDGET_MS", "50.0"))
 
 
 def load(path: pathlib.Path) -> dict:
@@ -121,12 +137,54 @@ def check(ledger: dict, baseline: dict) -> int:
     return 0
 
 
+def check_observability(obs: dict) -> int:
+    """Gate the observability cost ledger (tracing budget, SYS scan)."""
+    failures = []
+    overhead = obs.get("tracing_overhead")
+    if overhead is None:
+        failures.append("observability: ledger lacks tracing_overhead")
+    else:
+        verdict = "FAIL" if overhead > TRACING_OVERHEAD_BUDGET else "ok"
+        print(
+            f"observability: tracing overhead {overhead:+.2%} "
+            f"(budget {TRACING_OVERHEAD_BUDGET:.0%}) {verdict}"
+        )
+        if overhead > TRACING_OVERHEAD_BUDGET:
+            failures.append(
+                f"observability: tracing overhead {overhead:+.2%} exceeds "
+                f"the {TRACING_OVERHEAD_BUDGET:.0%} budget"
+            )
+    scan_ms = obs.get("sys_scan_ms")
+    if scan_ms is None:
+        failures.append("observability: ledger lacks sys_scan_ms")
+    else:
+        verdict = "FAIL" if scan_ms > SYS_SCAN_BUDGET_MS else "ok"
+        print(
+            f"observability: SYS scan {scan_ms:.3f} ms "
+            f"(budget {SYS_SCAN_BUDGET_MS:.0f} ms) {verdict}"
+        )
+        if scan_ms > SYS_SCAN_BUDGET_MS:
+            failures.append(
+                f"observability: SYS scan {scan_ms:.3f} ms exceeds "
+                f"{SYS_SCAN_BUDGET_MS:.0f} ms"
+            )
+    if failures:
+        print("\nobservability gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("observability gate passed")
+    return 0
+
+
 def main(argv) -> int:
     ledger = load(LEDGER_PATH)
     if "--update" in argv:
         update_baseline(ledger)
         return 0
-    return check(ledger, load(BASELINE_PATH))
+    status = check(ledger, load(BASELINE_PATH))
+    obs_status = check_observability(load(OBSERVABILITY_LEDGER_PATH))
+    return status or obs_status
 
 
 if __name__ == "__main__":

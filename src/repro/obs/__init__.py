@@ -17,24 +17,44 @@ PR measures against:
   ``EXPLAIN ANALYZE`` (rows in/out and cumulative time per plan operator).
 * :mod:`repro.obs.slowlog` — a threshold-configurable slow-query log with
   the statement's span tree attached.
+* :mod:`repro.obs.statements` — bounded per-fingerprint statement stats
+  (calls, latency quantiles, plan-cache hits) behind
+  ``SYS_STAT_STATEMENTS``.
+* :mod:`repro.obs.feedback` — estimate-vs-actual cardinality feedback with
+  q-errors (``SYS_STAT_ESTIMATES``), optionally consulted by the planner.
+* :mod:`repro.obs.costats` — per-CO instantiation cardinalities and
+  fixpoint profiles (``SYS_CO_STATS``).
+* :mod:`repro.obs.export` — JSONL trace exporter (one root span per line).
 """
 
 from repro.obs.analyze import OpStats, instrument_plan, render_analyzed
+from repro.obs.costats import COStat, COStatsRegistry
+from repro.obs.export import JsonlTraceExporter
+from repro.obs.feedback import EstimateFeedback, FeedbackRegistry, q_error
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.statements import StatementStat, StatementStatsRegistry
 from repro.obs.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
+    "COStat",
+    "COStatsRegistry",
     "Counter",
+    "EstimateFeedback",
+    "FeedbackRegistry",
     "Gauge",
     "Histogram",
+    "JsonlTraceExporter",
     "MetricsRegistry",
     "NULL_SPAN",
     "OpStats",
     "SlowQuery",
     "SlowQueryLog",
     "Span",
+    "StatementStat",
+    "StatementStatsRegistry",
     "Tracer",
     "instrument_plan",
+    "q_error",
     "render_analyzed",
 ]

@@ -1,0 +1,98 @@
+"""Per-Composite-Object instantiation statistics.
+
+The XNF compiler reports every instantiation here: node and edge
+cardinalities of the produced instance, fixpoint rounds, generated
+queries issued, and wall time.  ``SYS_CO_STATS`` flattens the registry
+into one row per CO component, which is what makes the paper's closure
+property self-applicable — a CO over the stats of COs.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+
+class COStat:
+    """Latest instantiation profile of one CO schema."""
+
+    __slots__ = (
+        "name", "instantiations", "rounds", "queries", "duration_s",
+        "nodes", "edges",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.instantiations = 0
+        self.rounds = 0
+        self.queries = 0
+        self.duration_s = 0.0
+        self.nodes: Dict[str, int] = {}
+        self.edges: Dict[str, int] = {}
+
+
+class COStatsRegistry:
+    """Bounded, thread-safe map of CO name → latest instantiation stats."""
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._stats: "OrderedDict[str, COStat]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evicted = 0
+
+    def record(
+        self,
+        name: str,
+        node_counts: Dict[str, int],
+        edge_counts: Dict[str, int],
+        rounds: int,
+        queries: int,
+        duration_s: float,
+    ) -> None:
+        key = name.upper()
+        with self._lock:
+            stat = self._stats.get(key)
+            if stat is None:
+                if len(self._stats) >= self.capacity:
+                    self._stats.popitem(last=False)
+                    self.evicted += 1
+                stat = self._stats[key] = COStat(key)
+            else:
+                self._stats.move_to_end(key)
+            stat.instantiations += 1
+            stat.rounds = rounds
+            stat.queries = queries
+            stat.duration_s = duration_s
+            stat.nodes = dict(node_counts)
+            stat.edges = dict(edge_counts)
+
+    def entries(self) -> List[COStat]:
+        with self._lock:
+            return list(self._stats.values())
+
+    def rows_snapshot(self) -> List[Tuple]:
+        """``SYS_CO_STATS`` rows: one per CO component (node or edge)."""
+        out: List[Tuple] = []
+        for stat in self.entries():
+            duration_ms = round(stat.duration_s * 1e3, 4)
+            for node, cardinality in stat.nodes.items():
+                out.append((
+                    stat.name, node, "node", cardinality,
+                    stat.rounds, stat.queries, duration_ms, stat.instantiations,
+                ))
+            for edge, cardinality in stat.edges.items():
+                out.append((
+                    stat.name, edge, "edge", cardinality,
+                    stat.rounds, stat.queries, duration_ms, stat.instantiations,
+                ))
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stats.clear()
+            self.evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stats)

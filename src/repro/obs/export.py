@@ -1,0 +1,53 @@
+"""JSONL trace exporter: one completed root span tree per line.
+
+Attach to a tracer (``db.tracer.exporter = JsonlTraceExporter(path)``)
+and every finished top-level statement span is appended to *path* as a
+single JSON object — the standard "newline-delimited traces" shape that
+log shippers and ``jq`` both understand.  Export errors never propagate
+into the traced statement (the tracer counts them instead).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import IO, Optional, Union
+
+
+class JsonlTraceExporter:
+    """Append ``span.to_dict()`` as one JSON line per root span."""
+
+    def __init__(self, path: Union[str, "IO[str]"]):
+        self._lock = threading.Lock()
+        self.exported = 0
+        if hasattr(path, "write"):
+            self.path: Optional[str] = None
+            self._fh: Optional[IO[str]] = path  # caller-owned stream
+            self._owns_fh = False
+        else:
+            self.path = str(path)
+            self._fh = None
+            self._owns_fh = True
+
+    def export(self, span) -> None:
+        line = span.to_json() + "\n"
+        with self._lock:
+            if self._fh is None:
+                if not self._owns_fh:
+                    return  # closed caller-owned stream
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line)
+            self._fh.flush()
+            self.exported += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None and self._owns_fh:
+                self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlTraceExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

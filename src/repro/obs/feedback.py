@@ -1,0 +1,115 @@
+"""Estimate-vs-actual cardinality feedback.
+
+``EXPLAIN ANALYZE`` (and analyze-mode execution) walks the instrumented
+plan and records, per access path, the optimizer's row estimate against
+the measured per-loop actual plus the q-error
+``max(est/actual, actual/est)``.  ``SYS_STAT_ESTIMATES`` exposes the
+registry; when ``Database(optimizer_feedback=True)``, the planner consults
+it at re-planning time and substitutes the observed cardinality for its
+selectivity guess (classic "learned" selectivity correction, keyed by the
+*normalized* predicate so literal-differing statements share feedback).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+#: exponential-moving-average weight for repeated observations of one key
+_ALPHA = 0.5
+
+
+def q_error(est_rows: float, actual_rows: float) -> float:
+    """Symmetric multiplicative estimation error, floored at one row."""
+    est = max(float(est_rows), 1.0)
+    actual = max(float(actual_rows), 1.0)
+    return max(est / actual, actual / est)
+
+
+class EstimateFeedback:
+    """One (source table, normalized predicate) feedback cell."""
+
+    __slots__ = (
+        "source", "operator", "predicate", "est_rows", "actual_rows",
+        "q_error", "samples",
+    )
+
+    def __init__(self, source: str, operator: str, predicate: str):
+        self.source = source
+        self.operator = operator
+        self.predicate = predicate
+        self.est_rows = 0.0
+        self.actual_rows = 0.0
+        self.q_error = 1.0
+        self.samples = 0
+
+
+class FeedbackRegistry:
+    """Bounded, thread-safe store of estimate-vs-actual observations."""
+
+    def __init__(self, capacity: int = 512):
+        self.capacity = capacity
+        self._cells: "OrderedDict[Tuple[str, str], EstimateFeedback]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evicted = 0
+
+    def record(
+        self,
+        source: str,
+        operator: str,
+        predicate: str,
+        est_rows: float,
+        actual_rows: float,
+    ) -> EstimateFeedback:
+        key = (source, predicate)
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                if len(self._cells) >= self.capacity:
+                    self._cells.popitem(last=False)
+                    self.evicted += 1
+                cell = self._cells[key] = EstimateFeedback(source, operator, predicate)
+                cell.actual_rows = float(actual_rows)
+            else:
+                self._cells.move_to_end(key)
+                cell.actual_rows += _ALPHA * (float(actual_rows) - cell.actual_rows)
+                cell.operator = operator
+            cell.est_rows = float(est_rows)
+            cell.q_error = q_error(est_rows, cell.actual_rows)
+            cell.samples += 1
+            return cell
+
+    def lookup_rows(self, source: str, predicate: str) -> Optional[float]:
+        """Observed cardinality for a (table, normalized predicate), if any."""
+        with self._lock:
+            cell = self._cells.get((source, predicate))
+            return None if cell is None else cell.actual_rows
+
+    def entries(self) -> List[EstimateFeedback]:
+        with self._lock:
+            return list(self._cells.values())
+
+    def rows_snapshot(self) -> List[Tuple]:
+        """``SYS_STAT_ESTIMATES`` rows."""
+        return [
+            (
+                cell.source,
+                cell.operator,
+                cell.predicate,
+                round(cell.est_rows, 2),
+                round(cell.actual_rows, 2),
+                round(cell.q_error, 3),
+                cell.samples,
+            )
+            for cell in self.entries()
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cells.clear()
+            self.evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cells)

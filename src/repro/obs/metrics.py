@@ -13,6 +13,7 @@ to read p50/p99-ish shape without unbounded memory.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Any, Dict, List, Optional, Union
 
@@ -71,6 +72,28 @@ class Histogram:
         # overflow bucket
         self.buckets[bisect_left(self.bounds, value)] += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the q-quantile (0 < q <= 1) from the cumulative buckets.
+
+        Linear interpolation inside the bucket that crosses the target rank,
+        clamped to the exact observed [min, max] so single-observation and
+        overflow cases stay honest.
+        """
+        if not self.count or self.minimum is None or self.maximum is None:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for idx, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if cumulative + n >= target:
+                lower = self.bounds[idx - 1] if idx > 0 else 0.0
+                upper = self.bounds[idx] if idx < len(self.bounds) else self.maximum
+                value = lower + (upper - lower) * ((target - cumulative) / n)
+                return min(max(value, self.minimum), self.maximum)
+            cumulative += n
+        return self.maximum
+
     def snapshot(self) -> Dict[str, Any]:
         return {
             "count": self.count,
@@ -78,6 +101,9 @@ class Histogram:
             "min": self.minimum,
             "max": self.maximum,
             "mean": round(self.total / self.count, 6) if self.count else None,
+            "p50": _rounded(self.quantile(0.50)),
+            "p95": _rounded(self.quantile(0.95)),
+            "p99": _rounded(self.quantile(0.99)),
             "buckets": {
                 (f"le_{bound}" if idx < len(self.bounds) else "overflow"): n
                 for idx, (bound, n) in enumerate(
@@ -88,62 +114,101 @@ class Histogram:
         }
 
 
+def _rounded(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 6)
+
+
 class MetricsRegistry:
     """Named metric store with get-or-create accessors.
 
     Names are dotted (``xnf.fixpoint.rounds``); :meth:`snapshot` returns
     them flat so callers can group or prefix-filter as they like.
+
+    Thread-safe and bounded: every accessor and convenience write path
+    takes one re-entrant lock, and at most *max_metrics* distinct names
+    are retained — past the cap, new names get a detached metric object
+    (writes to it are legal no-ops from the registry's point of view) and
+    ``dropped`` counts how many were turned away.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_metrics: int = 1024) -> None:
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.RLock()
+        self.max_metrics = max_metrics
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def _at_capacity(self) -> bool:
+        total = len(self._counters) + len(self._gauges) + len(self._histograms)
+        return total >= self.max_metrics
 
     # -- get-or-create -------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
-        if metric is None:
-            metric = self._counters[name] = Counter()
-        return metric
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                if self._at_capacity():
+                    self.dropped += 1
+                    return Counter()
+                metric = self._counters[name] = Counter()
+            return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
-        if metric is None:
-            metric = self._gauges[name] = Gauge()
-        return metric
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                if self._at_capacity():
+                    self.dropped += 1
+                    return Gauge()
+                metric = self._gauges[name] = Gauge()
+            return metric
 
     def histogram(self, name: str) -> Histogram:
-        metric = self._histograms.get(name)
-        if metric is None:
-            metric = self._histograms[name] = Histogram()
-        return metric
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                if self._at_capacity():
+                    self.dropped += 1
+                    return Histogram()
+                metric = self._histograms[name] = Histogram()
+            return metric
 
     # -- convenience write paths --------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
-        self.counter(name).inc(amount)
+        with self._lock:
+            self.counter(name).inc(amount)
 
     def set(self, name: str, value: Union[int, float]) -> None:
-        self.gauge(name).set(value)
+        with self._lock:
+            self.gauge(name).set(value)
 
     def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+        with self._lock:
+            self.histogram(name).observe(value)
 
     # -- read side -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {}
-        for name, counter in self._counters.items():
-            out[name] = counter.value
-        for name, gauge in self._gauges.items():
-            out[name] = gauge.value
-        for name, histogram in self._histograms.items():
-            out[name] = histogram.snapshot()
-        return out
+        with self._lock:
+            out: Dict[str, Any] = {}
+            for name, counter in self._counters.items():
+                out[name] = counter.value
+            for name, gauge in self._gauges.items():
+                out[name] = gauge.value
+            for name, histogram in self._histograms.items():
+                out[name] = histogram.snapshot()
+            return out
 
     def reset(self) -> None:
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self.dropped = 0

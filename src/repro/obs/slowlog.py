@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Dict, List, Optional
@@ -27,8 +28,12 @@ class SlowQueryLog:
 
     def __init__(self, threshold_s: Optional[float] = None, capacity: int = 128):
         self.threshold_s = threshold_s
+        self.capacity = capacity
         self._entries: Deque[SlowQuery] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
         self.total_logged = 0
+        #: entries pushed out of the ring by newer ones (bounded-log accounting)
+        self.evicted = 0
 
     @property
     def enabled(self) -> bool:
@@ -43,15 +48,22 @@ class SlowQueryLog:
     ) -> bool:
         if self.threshold_s is None or duration_s < self.threshold_s:
             return False
-        self._entries.append(SlowQuery(sql, duration_s, trace, dict(attrs)))
-        self.total_logged += 1
+        entry = SlowQuery(sql, duration_s, trace, dict(attrs))
+        with self._lock:
+            if len(self._entries) == self.capacity:
+                self.evicted += 1
+            self._entries.append(entry)
+            self.total_logged += 1
         return True
 
     def entries(self) -> List[SlowQuery]:
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

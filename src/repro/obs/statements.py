@@ -1,0 +1,126 @@
+"""Per-statement cumulative statistics, keyed by normalized fingerprint.
+
+The engine records one entry per executed statement into a bounded,
+thread-safe registry; ``SYS_STAT_STATEMENTS`` is a live view over it.
+Statements that differ only in WHERE/JOIN literals share a fingerprint
+(the plan-cache normalizer produces it), so the registry aggregates the
+way pg_stat_statements does: per *statement shape*, not per SQL text.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Histogram
+
+
+class StatementStat:
+    """Cumulative counters for one statement fingerprint."""
+
+    __slots__ = (
+        "fingerprint", "calls", "errors", "total_s", "rows",
+        "plan_cache_hits", "latency",
+    )
+
+    def __init__(self, fingerprint: str):
+        self.fingerprint = fingerprint
+        self.calls = 0
+        self.errors = 0
+        self.total_s = 0.0
+        self.rows = 0
+        self.plan_cache_hits = 0
+        self.latency = Histogram()
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class StatementStatsRegistry:
+    """Bounded LRU map fingerprint → :class:`StatementStat`.
+
+    Thread-safe (one lock per record), bounded at *capacity* fingerprints
+    with least-recently-updated eviction; ``evicted`` counts casualties so
+    a snapshot can say how much history was shed.
+    """
+
+    def __init__(self, capacity: int = 512, enabled: bool = True):
+        self.capacity = capacity
+        self.enabled = enabled
+        self._stats: "OrderedDict[str, StatementStat]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.evicted = 0
+
+    def record(
+        self,
+        fingerprint: str,
+        elapsed_s: float,
+        rows: int = 0,
+        cache_hit: bool = False,
+        error: bool = False,
+    ) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            stat = self._stats.get(fingerprint)
+            if stat is None:
+                if len(self._stats) >= self.capacity:
+                    self._stats.popitem(last=False)
+                    self.evicted += 1
+                stat = self._stats[fingerprint] = StatementStat(fingerprint)
+            else:
+                self._stats.move_to_end(fingerprint)
+            stat.calls += 1
+            stat.total_s += elapsed_s
+            stat.rows += rows
+            if cache_hit:
+                stat.plan_cache_hits += 1
+            if error:
+                stat.errors += 1
+            stat.latency.observe(elapsed_s)
+
+    def get(self, fingerprint: str) -> Optional[StatementStat]:
+        with self._lock:
+            return self._stats.get(fingerprint)
+
+    def entries(self) -> List[StatementStat]:
+        with self._lock:
+            return list(self._stats.values())
+
+    def rows_snapshot(self) -> List[Tuple]:
+        """``SYS_STAT_STATEMENTS`` rows: one per tracked fingerprint."""
+        out: List[Tuple] = []
+        for stat in self.entries():
+            quantiles: Dict[str, Optional[float]] = {
+                q: stat.latency.quantile(p)
+                for q, p in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+            }
+            out.append((
+                stat.fingerprint,
+                stat.calls,
+                stat.errors,
+                stat.rows,
+                stat.plan_cache_hits,
+                round(stat.total_s * 1e3, 4),
+                round(stat.mean_s * 1e3, 4),
+                _ms(quantiles["p50"]),
+                _ms(quantiles["p95"]),
+                _ms(quantiles["p99"]),
+                _ms(stat.latency.maximum),
+            ))
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._stats.clear()
+            self.evicted = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._stats)
+
+
+def _ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else round(seconds * 1e3, 4)

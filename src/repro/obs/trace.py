@@ -15,9 +15,13 @@ no-op span so the hot path pays a single attribute check.
 
 from __future__ import annotations
 
+import itertools
 import json
 import time
 from typing import Any, Dict, Iterator, List, Optional
+
+#: process-wide span id sequence (0 is reserved for the shared null span)
+_SPAN_IDS = itertools.count(1)
 
 
 class Span:
@@ -29,7 +33,7 @@ class Span:
     calls and a couple of list operations.
     """
 
-    __slots__ = ("name", "_attrs", "start_s", "end_s", "children", "_tracer")
+    __slots__ = ("name", "_attrs", "start_s", "end_s", "children", "_tracer", "span_id")
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
@@ -38,6 +42,7 @@ class Span:
         self.end_s: Optional[float] = None
         self.children: List["Span"] = []
         self._tracer: Optional["Tracer"] = None
+        self.span_id = next(_SPAN_IDS)
 
     @property
     def attrs(self) -> Dict[str, Any]:
@@ -87,6 +92,7 @@ class Span:
         """JSON-ready representation of the span tree."""
         out: Dict[str, Any] = {
             "name": self.name,
+            "span_id": self.span_id,
             "duration_ms": round(self.duration_s * 1e3, 4),
         }
         if self._attrs:
@@ -130,6 +136,7 @@ class _NullSpan(Span):
     def __init__(self) -> None:
         super().__init__("<disabled>")
         self.end_s = self.start_s
+        self.span_id = 0
 
     def annotate(self, **attrs: Any) -> "Span":
         return self
@@ -158,6 +165,10 @@ class Tracer:
         self._stack: List[Span] = []
         self.last_trace: Optional[Span] = None
         self.recent: List[Span] = []
+        #: optional sink with an ``export(span)`` method, called once per
+        #: completed *root* span (e.g. :class:`repro.obs.JsonlTraceExporter`)
+        self.exporter: Optional[Any] = None
+        self.export_failures = 0
 
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a child span of whatever span is currently on the stack.
@@ -197,3 +208,9 @@ class Tracer:
             self.recent.append(span)
             if len(self.recent) > self.history:
                 del self.recent[: len(self.recent) - self.history]
+            if self.exporter is not None:
+                # An exporter IO error must not fail the traced statement.
+                try:
+                    self.exporter.export(span)
+                except Exception:
+                    self.export_failures += 1

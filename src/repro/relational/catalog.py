@@ -327,6 +327,135 @@ class Table:
         return stats
 
 
+class VirtualTable:
+    """A read-only system table backed by a snapshot provider function.
+
+    The provider is called afresh on every :meth:`scan`, so each scan sees
+    the *live* registry state even when the plan that drives it was served
+    from the plan cache (the cache stores plans, not results; see
+    ``CacheEntry.volatile``).  Virtual tables duck-type the read path of
+    :class:`Table` — columns, positions, stats, ``scan()``/``fetch()`` —
+    which is all the planner and executor need; every write-path entry
+    point raises :class:`CatalogError`.
+    """
+
+    is_virtual = True
+
+    def __init__(self, name: str, columns: Sequence[Column], provider):
+        self.name = name.upper()
+        self.columns = list(columns)
+        self.column_positions = {col.name: pos for pos, col in enumerate(columns)}
+        if len(self.column_positions) != len(self.columns):
+            raise CatalogError(f"duplicate column name in table {name}")
+        self.provider = provider
+        self.indexes: Dict[str, Index] = {}
+        # Nominal row-count guess so the cost model has something to chew
+        # on before an explicit ANALYZE; never trusted for correctness.
+        self.stats = TableStats(row_count=16)
+        self._catalog: Optional["Catalog"] = None
+
+    # -- schema helpers (mirrors Table) ---------------------------------------
+
+    def column_names(self) -> List[str]:
+        return [col.name for col in self.columns]
+
+    def position_of(self, column: str) -> int:
+        try:
+            return self.column_positions[column]
+        except KeyError:
+            raise CatalogError(f"table {self.name} has no column {column!r}") from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position_of(name)]
+
+    def index_on(self, column_names: Sequence[str], require_range: bool = False) -> Optional[Index]:
+        return None
+
+    def contains_value(self, column: str, value: Any) -> bool:
+        pos = self.position_of(column)
+        return any(row[pos] == value for _, row in self.scan())
+
+    # -- read path ----------------------------------------------------------------
+
+    def scan(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """Pull a fresh snapshot from the provider and yield (rid, row)."""
+        width = len(self.columns)
+        for rid, row in enumerate(self.provider()):
+            values = tuple(row)
+            if len(values) != width:
+                raise CatalogError(
+                    f"virtual table {self.name} provider yielded {len(values)} "
+                    f"values, expected {width}"
+                )
+            yield rid, values
+
+    def fetch(self, rid: int) -> Tuple[Any, ...]:
+        for current, row in self.scan():
+            if current == rid:
+                return row
+        raise CatalogError(f"virtual table {self.name}: no row {rid}")
+
+    # -- statistics -----------------------------------------------------------------
+
+    def analyze(self) -> TableStats:
+        """Exact statistics over one provider snapshot (they age immediately)."""
+        stats = TableStats(analyzed=True)
+        distinct: List[set] = [set() for _ in self.columns]
+        nulls = [0] * len(self.columns)
+        minima: List[Any] = [None] * len(self.columns)
+        maxima: List[Any] = [None] * len(self.columns)
+        count = 0
+        for _, row in self.scan():
+            count += 1
+            for pos, value in enumerate(row):
+                if value is None:
+                    nulls[pos] += 1
+                    continue
+                distinct[pos].add(value)
+                if minima[pos] is None or sort_key(value) < sort_key(minima[pos]):
+                    minima[pos] = value
+                if maxima[pos] is None or sort_key(value) > sort_key(maxima[pos]):
+                    maxima[pos] = value
+        stats.row_count = count
+        for pos, col in enumerate(self.columns):
+            stats.columns[col.name] = ColumnStats(
+                n_distinct=len(distinct[pos]),
+                null_count=nulls[pos],
+                min_value=minima[pos],
+                max_value=maxima[pos],
+            )
+        self.stats = stats
+        if self._catalog is not None:
+            self._catalog.bump_version(self.name)
+        return stats
+
+    # -- write path: refused ---------------------------------------------------------
+
+    def _read_only(self) -> "CatalogError":
+        return CatalogError(f"{self.name} is a read-only system table")
+
+    def insert(self, row: Sequence[Any], rid_hint=None):
+        raise self._read_only()
+
+    def insert_prechecked(self, row, rid) -> None:
+        raise self._read_only()
+
+    def update(self, rid, new_row) -> None:
+        raise self._read_only()
+
+    def delete(self, rid):
+        raise self._read_only()
+
+    def truncate(self) -> None:
+        raise self._read_only()
+
+    def add_index(self, index_name, column_names, unique=False, kind="btree"):
+        raise self._read_only()
+
+    def drop_index(self, index_name) -> None:
+        raise self._read_only()
+
+
 @dataclass
 class ViewDefinition:
     """A named view: its SQL text and parsed body (filled by the engine)."""
@@ -343,6 +472,9 @@ class Catalog:
         self.buffer_pool = buffer_pool
         self.tables: Dict[str, Table] = {}
         self.views: Dict[str, ViewDefinition] = {}
+        #: read-only system tables backed by snapshot providers; resolved by
+        #: :meth:`get_table` after base tables so user tables always win.
+        self.virtual_tables: Dict[str, VirtualTable] = {}
         #: monotonically increasing per-object schema/stats versions, keyed
         #: by upper-cased table or view name.  Cached plans record the
         #: versions of every object they reference; a later mismatch marks
@@ -360,9 +492,26 @@ class Catalog:
     def object_version(self, name: str) -> int:
         return self._object_versions.get(name.upper(), 0)
 
+    def register_virtual(self, table: VirtualTable) -> VirtualTable:
+        """Install a read-only system table.
+
+        Virtual tables never get a version bump after registration: cached
+        plans over them stay valid forever (the *scan* re-pulls live data),
+        except after an explicit ANALYZE which recompiles on purpose.
+        """
+        key = table.name.upper()
+        if key in self.tables or key in self.views:
+            raise CatalogError(f"table or view {table.name} already exists")
+        table._catalog = self
+        self.virtual_tables[key] = table
+        return table
+
+    def is_virtual(self, name: str) -> bool:
+        return name.upper() in self.virtual_tables
+
     def create_table(self, name: str, columns: Sequence[Column]) -> Table:
         key = name.upper()
-        if key in self.tables or key in self.views:
+        if key in self.tables or key in self.views or key in self.virtual_tables:
             raise CatalogError(f"table or view {name} already exists")
         table = Table(key, columns, self.buffer_pool)
         table._catalog = self
@@ -372,6 +521,8 @@ class Catalog:
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.upper()
+        if key in self.virtual_tables:
+            raise CatalogError(f"{key} is a system table and cannot be dropped")
         table = self.tables.pop(key, None)
         if table is None:
             if if_exists:
@@ -394,23 +545,27 @@ class Catalog:
     def attach_scratch(self, table: Table) -> None:
         """Re-insert a previously detached scratch table, no version bump."""
         key = table.name.upper()
-        if key in self.tables or key in self.views:
+        if key in self.tables or key in self.views or key in self.virtual_tables:
             raise CatalogError(f"table or view {table.name} already exists")
         table._catalog = self
         self.tables[key] = table
 
     def get_table(self, name: str) -> Table:
-        table = self.tables.get(name.upper())
+        key = name.upper()
+        table = self.tables.get(key)
+        if table is None:
+            table = self.virtual_tables.get(key)
         if table is None:
             raise CatalogError(f"no table named {name}")
         return table
 
     def has_table(self, name: str) -> bool:
-        return name.upper() in self.tables
+        key = name.upper()
+        return key in self.tables or key in self.virtual_tables
 
     def create_view(self, name: str, sql_text: str, body: Any) -> ViewDefinition:
         key = name.upper()
-        if key in self.tables or key in self.views:
+        if key in self.tables or key in self.views or key in self.virtual_tables:
             raise CatalogError(f"table or view {name} already exists")
         view = ViewDefinition(key, sql_text, body)
         self.views[key] = view

@@ -26,8 +26,11 @@ from repro.errors import (
     TransactionError,
 )
 from repro.obs.analyze import instrument_plan, render_analyzed
+from repro.obs.costats import COStatsRegistry
+from repro.obs.feedback import FeedbackRegistry
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slowlog import SlowQueryLog
+from repro.obs.statements import StatementStatsRegistry
 from repro.obs.trace import Tracer
 from repro.relational.catalog import Catalog, Column, Table
 from repro.relational.executor.exprs import PlanContext
@@ -46,6 +49,7 @@ from repro.relational.rewrite import Rewriter
 from repro.relational.sql import ast
 from repro.relational.sql.parser import parse_statements
 from repro.relational.storage import BufferPool, DiskManager
+from repro.relational.systables import install_sys_tables
 from repro.relational.txn.locks import LockMode
 from repro.relational.txn.manager import (
     IsolationLevel,
@@ -180,6 +184,8 @@ class Database:
         io_retry_backoff_s: float = 0.001,
         tracing: bool = True,
         slow_query_threshold_s: Optional[float] = None,
+        statement_stats: bool = True,
+        optimizer_feedback: bool = False,
     ):
         # An existing disk/WAL pair may be passed in: that is how a crashed
         # instance is reopened over its surviving stable storage (see
@@ -209,10 +215,23 @@ class Database:
         #: attaching per-operator row counts to their execute spans (the
         #: XNF explain_analyze path flips this around an instantiation)
         self.analyze_statements = False
+        #: per-fingerprint statement statistics (behind SYS_STAT_STATEMENTS)
+        self.statement_stats = StatementStatsRegistry(enabled=statement_stats)
+        #: estimate-vs-actual cardinality feedback (behind SYS_STAT_ESTIMATES)
+        self.feedback = FeedbackRegistry()
+        #: when True, the planner consults ``feedback`` at (re)planning time
+        #: and corrects selectivity guesses with observed cardinalities
+        self.optimizer_feedback = optimizer_feedback
+        #: per-CO instantiation statistics (behind SYS_CO_STATS), fed by the
+        #: XNF semantic-rewrite layer
+        self.co_stats = COStatsRegistry()
+        self._last_fingerprint: Optional[str] = None
+        self._last_cache_hit = False
         #: detached scratch worktables (name -> Table), parked here by the
         #: XNF layer between extractions; re-attaching skips version bumps
         #: so plans compiled against them stay cached.
         self.scratch_tables: Dict[str, Table] = {}
+        install_sys_tables(self)
 
     # -- public API ----------------------------------------------------------
 
@@ -251,16 +270,59 @@ class Database:
 
     def execute_ast(self, stmt: ast.Statement) -> Result:
         self.statements_executed += 1
+        self._last_fingerprint = None
+        self._last_cache_hit = False
         start = time.perf_counter()
         with self.tracer.span(self._stmt_span_name(stmt)) as span:
-            result = self._dispatch_ast(stmt)
+            try:
+                result = self._dispatch_ast(stmt)
+            except BaseException:
+                if self.statement_stats.enabled:
+                    self.statement_stats.record(
+                        self._fingerprint_of(stmt),
+                        time.perf_counter() - start,
+                        cache_hit=self._last_cache_hit,
+                        error=True,
+                    )
+                raise
             if result.rowcount:
                 span.annotate(rows=result.rowcount)
+            if self.tracer.enabled and self.statement_stats.enabled:
+                span.annotate(fingerprint=self._fingerprint_of(stmt))
         elapsed = time.perf_counter() - start
         self.metrics.observe("sql.statement_seconds", elapsed)
+        if self.statement_stats.enabled:
+            self.statement_stats.record(
+                self._fingerprint_of(stmt),
+                elapsed,
+                rows=result.rowcount,
+                cache_hit=self._last_cache_hit,
+            )
         if self.slow_query_log.enabled:
             self._maybe_log_slow(stmt, elapsed, span)
         return result
+
+    def _fingerprint_of(self, stmt: ast.Statement) -> str:
+        """Normalized fingerprint of *stmt*, computed at most once per
+        statement (the cached-plan path pre-fills it for free)."""
+        if self._last_fingerprint is None:
+            try:
+                if isinstance(
+                    stmt,
+                    (
+                        ast.SelectStmt,
+                        ast.SetOpStmt,
+                        ast.InsertStmt,
+                        ast.UpdateStmt,
+                        ast.DeleteStmt,
+                    ),
+                ):
+                    self._last_fingerprint = normalize_statement(stmt).fingerprint
+                else:
+                    self._last_fingerprint = stmt.to_sql()
+            except Exception:
+                self._last_fingerprint = type(stmt).__name__
+        return self._last_fingerprint
 
     def _maybe_log_slow(self, stmt: ast.Statement, elapsed: float, span) -> None:
         if (
@@ -360,17 +422,50 @@ class Database:
         """
         for table in self._tables_of(query):
             self._lock(table, LockMode.SHARED)
-        plan = self.compile_query(query, use_cache=False)
+        plan = self._analyze_compile(query)
         op_stats = instrument_plan(plan.op)
         start = time.perf_counter()
         rows = self._collect_rows(plan)
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
+        self._record_estimates(op_stats)
         lines = render_analyzed(plan.op, op_stats).splitlines()
         lines.append(f"actual rows: {len(rows)}")
         lines.append(self._stage_timings_line())
         lines.append(self._plan_cache_line())
         return "\n".join(lines)
+
+    def _analyze_compile(self, query: ast.Query) -> CompiledPlan:
+        """Uncached, instrumentable compile over the *normalized* statement.
+
+        Normalizing first makes the feedback keys recorded from this run
+        (parameter markers where literals stood) line up with the keys that
+        cached compiles of literal-differing statements produce, so EXPLAIN
+        ANALYZE observations transfer to later re-planning.
+        """
+        normalized = normalize_statement(query)
+        if normalized.n_explicit:
+            return self._compile_statement(query)
+        plan = self._compile_statement(normalized.statement)
+        plan.context.params[:] = list(normalized.lifted_values)
+        return plan
+
+    def _record_estimates(self, op_stats) -> None:
+        """Feed per-operator estimate-vs-actual pairs into the feedback
+        registry (``SYS_STAT_ESTIMATES``); actuals are per-loop averages so
+        inner sides of nested loops compare against their per-probe estimate."""
+        for stat in op_stats.values():
+            op = stat.op
+            est = getattr(op, "est_rows", None)
+            if est is None or not stat.loops:
+                continue
+            self.feedback.record(
+                getattr(op, "feedback_source", None) or op.label,
+                op.label,
+                getattr(op, "feedback_predicate", ""),
+                float(est),
+                stat.rows_out / stat.loops,
+            )
 
     def _stage_timings_line(self) -> str:
         stages = ("parse", "build_qgm", "rewrite", "optimize", "execute")
@@ -432,7 +527,9 @@ class Database:
 
         The caller binds ``plan.context.params`` before executing.
         """
-        key = (normalized.fingerprint, self.enable_rewrite)
+        fingerprint = normalized.fingerprint
+        self._last_fingerprint = fingerprint
+        key = (fingerprint, self.enable_rewrite)
         entry = self.plan_cache.lookup(key, self.catalog)
         if entry is None:
             plan = self._compile_statement(normalized.statement)
@@ -442,10 +539,12 @@ class Database:
                 list(normalized.lifted_values),
                 normalized.n_explicit,
                 {name: self.catalog.object_version(name) for name in deps},
+                volatile=any(self.catalog.is_virtual(name) for name in deps),
             )
             self.plan_cache.store(key, entry)
             self.tracer.annotate(plan_cache="miss")
         else:
+            self._last_cache_hit = True
             self.last_timings.update(
                 {"build_qgm": 0.0, "rewrite": 0.0, "optimize": 0.0}
             )
@@ -464,15 +563,18 @@ class Database:
         timings["rewrite"] = time.perf_counter() - start
         start = time.perf_counter()
         with self.tracer.span("optimize"):
-            plan = Planner(self.catalog).plan_statement(box)
+            plan = Planner(self.catalog, feedback=self._planner_feedback()).plan_statement(box)
         timings["optimize"] = time.perf_counter() - start
         self.last_timings.update(timings)
         return plan
 
+    def _planner_feedback(self):
+        return self.feedback if self.optimizer_feedback else None
+
     def compile_box(self, box: Box) -> CompiledPlan:
         """Rewrite + optimize an externally-built QGM box (XNF path)."""
         box = self._rewrite(box)
-        return Planner(self.catalog).plan_statement(box)
+        return Planner(self.catalog, feedback=self._planner_feedback()).plan_statement(box)
 
     def _rewrite(self, box: Box) -> Box:
         if not self.enable_rewrite:
@@ -486,7 +588,7 @@ class Database:
         if self.analyze_statements:
             # Analyze mode (XNF explain_analyze): bypass the cache so the
             # instrumented operators stay private to this execution.
-            plan = self.compile_query(query, use_cache=False)
+            plan = self._analyze_compile(query)
             op_stats = instrument_plan(plan.op)
         else:
             plan = self.compile_query(query)
@@ -498,6 +600,8 @@ class Database:
                 span.annotate(detail=render_analyzed(plan.op, op_stats))
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
+        if op_stats is not None:
+            self._record_estimates(op_stats)
         return Result(plan.columns, rows, len(rows))
 
     def _execute_prepared_query(
@@ -956,6 +1060,13 @@ class Database:
                     "sql.statement_seconds"
                 ).snapshot(),
                 "slow_logged": self.slow_query_log.total_logged,
+                "slow_evicted": self.slow_query_log.evicted,
+                "tracked_fingerprints": len(self.statement_stats),
+                "fingerprint_evictions": self.statement_stats.evicted,
+            },
+            "estimates": {
+                "tracked": len(self.feedback),
+                "evicted": self.feedback.evicted,
             },
         }
 
@@ -985,6 +1096,11 @@ class Prepared:
             self.n_params = self._normalized.n_explicit
         else:
             self.n_params = 0
+        # The fingerprint property re-renders SQL on each access: compute it
+        # once here so re-executions record statement stats for free.
+        self._fingerprint = (
+            self._normalized.fingerprint if self._normalized is not None else None
+        )
         # Compile queries eagerly so the first execute() is already a re-bind.
         if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
             self.db._cached_plan(self._normalized)
@@ -1003,14 +1119,33 @@ class Prepared:
         stmt = self.statement
         self.db.statements_executed += 1
         if isinstance(stmt, (ast.SelectStmt, ast.SetOpStmt)):
-            return self.db._execute_prepared_query(self._normalized, values)
+            return self._timed(
+                lambda: self.db._execute_prepared_query(self._normalized, values)
+            )
         full = values + list(self._normalized.lifted_values) if self._normalized else values
         if isinstance(stmt, ast.InsertStmt):
-            return self.db._run_insert(stmt, params=full)
+            return self._timed(lambda: self.db._run_insert(stmt, params=full))
         if isinstance(stmt, ast.UpdateStmt):
-            return self.db._run_update(stmt, params=full)
+            return self._timed(lambda: self.db._run_update(stmt, params=full))
         if isinstance(stmt, ast.DeleteStmt):
-            return self.db._run_delete(stmt, params=full)
+            return self._timed(lambda: self.db._run_delete(stmt, params=full))
         if self.n_params:
             raise SQLError("this statement kind does not accept parameters")
         return self.db.execute_ast(stmt)
+
+    def _timed(self, fn) -> Result:
+        """Run one prepared execution, recording per-fingerprint statement
+        stats (this path bypasses ``execute_ast``, which records them for
+        ordinary statements)."""
+        db = self.db
+        db._last_cache_hit = False
+        start = time.perf_counter()
+        result = fn()
+        if db.statement_stats.enabled and self._fingerprint is not None:
+            db.statement_stats.record(
+                self._fingerprint,
+                time.perf_counter() - start,
+                rows=result.rowcount,
+                cache_hit=db._last_cache_hit,
+            )
+        return result

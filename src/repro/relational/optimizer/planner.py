@@ -125,10 +125,20 @@ class _QuantInfo:
 class Planner:
     """Compiles QGM box trees into executable plans."""
 
-    def __init__(self, catalog: Catalog, context: Optional[PlanContext] = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        context: Optional[PlanContext] = None,
+        feedback=None,
+    ):
         self.catalog = catalog
         self.context = context if context is not None else PlanContext()
         self._subplan_cache: Dict[int, PlanOp] = {}
+        #: optional FeedbackRegistry (estimate-vs-actual corrections); when
+        #: set, base access paths replace their selectivity guess with the
+        #: cardinality previously *observed* for the same normalized
+        #: predicate on the same table (``Database(optimizer_feedback=True)``).
+        self.feedback = feedback
 
     # -- public API -----------------------------------------------------------
 
@@ -258,13 +268,38 @@ class Planner:
         for pred in preds:
             est *= predicate_selectivity(pred, info.base_table)
         est = max(est, 0.5)
+        predicate_key = ""
+        if info.base_table is not None and preds:
+            predicate_key = self._predicate_key(preds)
+            if self.feedback is not None:
+                observed = self.feedback.lookup_rows(
+                    info.base_table.name, predicate_key
+                )
+                if observed is not None:
+                    est = max(float(observed), 0.5)
         if remaining:
             compiler = self.compiler(layout)
             predicate = compiler.compile_predicate(
                 ast.conjoin(remaining)  # type: ignore[arg-type]
             )
             op = Filter(op, predicate, info.name)
+        # Estimate annotations for EXPLAIN ANALYZE's estimate-vs-actual
+        # feedback (SYS_STAT_ESTIMATES): which table/predicate this access
+        # path's cardinality guess belongs to.
+        op.est_rows = est
+        if info.base_table is not None:
+            op.feedback_source = info.base_table.name
+            op.feedback_predicate = predicate_key
         return _Partial(frozenset([info.name]), op, layout, info.width, est, cost)
+
+    @staticmethod
+    def _predicate_key(preds: Sequence[ast.Expr]) -> str:
+        """Order-insensitive normalized text of an access path's predicates.
+
+        Cached compiles see parameter markers where literals stood, so the
+        key aggregates feedback across literal-differing statements.
+        """
+        return " AND ".join(sorted(pred.to_sql() for pred in preds))
 
     def _base_access_path(
         self, info: _QuantInfo, preds: List[ast.Expr]
@@ -575,8 +610,10 @@ class Planner:
         cost, build = min(candidates, key=lambda pair: pair[0])
         applied = set(left.applied)
         applied.update(idx for idx, _ in applicable)
+        join_op = build()
+        join_op.est_rows = est_rows
         return _Partial(
-            combined_names, build(), new_layout, new_width, est_rows, cost, applied
+            combined_names, join_op, new_layout, new_width, est_rows, cost, applied
         )
 
     def _equi_split(

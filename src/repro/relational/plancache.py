@@ -402,6 +402,12 @@ class CacheEntry:
     lifted_values: List[Any]
     n_explicit: int
     dependencies: Dict[str, int] = field(default_factory=dict)
+    #: the plan scans at least one SYS virtual table.  The *plan* is still
+    #: cacheable (virtual tables never bump their catalog version), but the
+    #: result set is volatile by construction: every scan re-pulls the live
+    #: registry snapshot.  Tracked so stats()/tests can prove SYS queries
+    #: hit the cache without ever serving stale rows.
+    volatile: bool = False
 
 
 CacheKey = Tuple[str, bool]  # (normalized SQL text, enable_rewrite)
@@ -480,4 +486,7 @@ class PlanCache:
             "invalidations": self.invalidations,
             "evictions": self.evictions,
             "entries": len(self._entries),
+            "volatile_entries": sum(
+                1 for entry in self._entries.values() if entry.volatile
+            ),
         }

@@ -1,0 +1,276 @@
+"""SYS_* virtual system tables: live telemetry as ordinary relations.
+
+``install_sys_tables(db)`` registers read-only :class:`VirtualTable`\\ s
+whose providers snapshot the engine's registries at *scan* time — so the
+same cached plan re-reads live data on every execution (the plan cache
+marks such plans volatile purely for accounting; see ``CacheEntry``).
+Because they resolve through ``Catalog.get_table`` like any base table,
+SYS tables can be JOINed, aggregated, filtered, ANALYZEd and used inside
+XNF composite objects (the built-in ``SYS_MONITOR`` CO does exactly that).
+
+The catalog of tables:
+
+======================  =====================================================
+``SYS_STAT_STATEMENTS``  per-fingerprint calls / latency quantiles / rows /
+                         plan-cache hits
+``SYS_STAT_TABLES``      base-table cardinalities, pages, index counts
+``SYS_STAT_INDEXES``     index kind / uniqueness / key columns
+``SYS_STAT_BUFFER``      buffer-pool counters (one wide row)
+``SYS_STAT_WAL``         WAL counters incl. torn-flush repairs (one row)
+``SYS_STAT_LOCKS``       lock-manager counters (one row)
+``SYS_TRACE_SPANS``      flattened recent span trees with parent_span_id
+``SYS_CO_STATS``         per-CO node/edge cardinalities + fixpoint profile
+``SYS_STAT_ESTIMATES``   optimizer estimate vs. actual rows with q-error
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence, Tuple
+
+from repro.relational.catalog import Column, VirtualTable
+from repro.relational.types import BOOLEAN, FLOAT, INTEGER, VARCHAR
+
+#: every installed system-table name (also the drop-protection set)
+SYS_TABLE_NAMES = (
+    "SYS_STAT_STATEMENTS",
+    "SYS_STAT_TABLES",
+    "SYS_STAT_INDEXES",
+    "SYS_STAT_BUFFER",
+    "SYS_STAT_WAL",
+    "SYS_STAT_LOCKS",
+    "SYS_TRACE_SPANS",
+    "SYS_CO_STATS",
+    "SYS_STAT_ESTIMATES",
+)
+
+
+def _columns(*specs: Tuple[str, Any]) -> List[Column]:
+    return [Column(name, sql_type) for name, sql_type in specs]
+
+
+def _statements_provider(db) -> Callable[[], Iterable[Tuple]]:
+    return db.statement_stats.rows_snapshot
+
+
+def _tables_provider(db) -> Callable[[], Iterable[Tuple]]:
+    def provider() -> List[Tuple]:
+        catalog = db.catalog
+        return [
+            (
+                table.name,
+                table.heap.row_count,
+                table.heap.num_pages(),
+                len(table.indexes),
+                table.stats.analyzed,
+                catalog.object_version(table.name),
+            )
+            for table in catalog.tables.values()
+        ]
+    return provider
+
+
+def _indexes_provider(db) -> Callable[[], Iterable[Tuple]]:
+    def provider() -> List[Tuple]:
+        out: List[Tuple] = []
+        for table in db.catalog.tables.values():
+            for index in table.indexes.values():
+                kind = type(index).__name__.replace("Index", "").lower()
+                out.append((
+                    table.name,
+                    index.name,
+                    kind,
+                    bool(index.unique),
+                    ",".join(index.column_names),
+                ))
+        return out
+    return provider
+
+
+def _wide_row_provider(metrics_fn, keys: Sequence[str]) -> Callable[[], List[Tuple]]:
+    def provider() -> List[Tuple]:
+        snapshot = metrics_fn()
+        return [tuple(snapshot.get(key) for key in keys)]
+    return provider
+
+
+_BUFFER_KEYS = (
+    "capacity", "hits", "misses", "hit_rate", "evictions", "pins",
+    "resident_pages", "pinned_pages",
+)
+_WAL_KEYS = (
+    "flushes", "dropped_flushes", "torn_flushes", "torn_repairs",
+    "records_flushed", "bytes_flushed", "stable_lsn", "stable_records",
+    "tail_records",
+)
+_LOCK_KEYS = ("acquisitions", "conflicts", "held")
+
+
+def _spans_provider(db) -> Callable[[], Iterable[Tuple]]:
+    def provider() -> List[Tuple]:
+        out: List[Tuple] = []
+
+        def emit(span, trace_id: int, parent_id, depth: int) -> None:
+            attrs = span._attrs or {}
+            out.append((
+                trace_id,
+                span.span_id,
+                parent_id,
+                span.name,
+                depth,
+                round(span.duration_s * 1e3, 4),
+                attrs.get("rows"),
+                attrs.get("fingerprint"),
+                str(attrs["plan_cache"]) if "plan_cache" in attrs else None,
+                str(attrs["error"]) if "error" in attrs else None,
+            ))
+            for child in span.children:
+                emit(child, trace_id, span.span_id, depth + 1)
+
+        for root in list(db.tracer.recent):
+            emit(root, root.span_id, None, 0)
+        return out
+    return provider
+
+
+def _co_stats_provider(db) -> Callable[[], Iterable[Tuple]]:
+    return db.co_stats.rows_snapshot
+
+
+def _estimates_provider(db) -> Callable[[], Iterable[Tuple]]:
+    return db.feedback.rows_snapshot
+
+
+def build_sys_tables(db) -> List[VirtualTable]:
+    """Construct (but do not register) every SYS virtual table for *db*."""
+    return [
+        VirtualTable(
+            "SYS_STAT_STATEMENTS",
+            _columns(
+                ("fingerprint", VARCHAR()),
+                ("calls", INTEGER),
+                ("errors", INTEGER),
+                ("rows_returned", INTEGER),
+                ("plan_cache_hits", INTEGER),
+                ("total_ms", FLOAT),
+                ("mean_ms", FLOAT),
+                ("p50_ms", FLOAT),
+                ("p95_ms", FLOAT),
+                ("p99_ms", FLOAT),
+                ("max_ms", FLOAT),
+            ),
+            _statements_provider(db),
+        ),
+        VirtualTable(
+            "SYS_STAT_TABLES",
+            _columns(
+                ("table_name", VARCHAR()),
+                ("row_count", INTEGER),
+                ("page_count", INTEGER),
+                ("index_count", INTEGER),
+                ("analyzed", BOOLEAN),
+                ("version", INTEGER),
+            ),
+            _tables_provider(db),
+        ),
+        VirtualTable(
+            "SYS_STAT_INDEXES",
+            _columns(
+                ("table_name", VARCHAR()),
+                ("index_name", VARCHAR()),
+                ("kind", VARCHAR()),
+                ("is_unique", BOOLEAN),
+                ("key_columns", VARCHAR()),
+            ),
+            _indexes_provider(db),
+        ),
+        VirtualTable(
+            "SYS_STAT_BUFFER",
+            _columns(
+                ("capacity", INTEGER),
+                ("hits", INTEGER),
+                ("misses", INTEGER),
+                ("hit_rate", FLOAT),
+                ("evictions", INTEGER),
+                ("pins", INTEGER),
+                ("resident_pages", INTEGER),
+                ("pinned_pages", INTEGER),
+            ),
+            _wide_row_provider(db.buffer_pool.metrics, _BUFFER_KEYS),
+        ),
+        VirtualTable(
+            "SYS_STAT_WAL",
+            _columns(
+                ("flushes", INTEGER),
+                ("dropped_flushes", INTEGER),
+                ("torn_flushes", INTEGER),
+                ("torn_repairs", INTEGER),
+                ("records_flushed", INTEGER),
+                ("bytes_flushed", INTEGER),
+                ("stable_lsn", INTEGER),
+                ("stable_records", INTEGER),
+                ("tail_records", INTEGER),
+            ),
+            _wide_row_provider(lambda: db.txn_manager.wal.metrics(), _WAL_KEYS),
+        ),
+        VirtualTable(
+            "SYS_STAT_LOCKS",
+            _columns(
+                ("acquisitions", INTEGER),
+                ("conflicts", INTEGER),
+                ("held", INTEGER),
+            ),
+            _wide_row_provider(lambda: db.txn_manager.locks.metrics(), _LOCK_KEYS),
+        ),
+        VirtualTable(
+            "SYS_TRACE_SPANS",
+            _columns(
+                ("trace_id", INTEGER),
+                ("span_id", INTEGER),
+                ("parent_span_id", INTEGER),
+                ("name", VARCHAR()),
+                ("depth", INTEGER),
+                ("duration_ms", FLOAT),
+                ("row_count", INTEGER),
+                ("fingerprint", VARCHAR()),
+                ("plan_cache", VARCHAR()),
+                ("error", VARCHAR()),
+            ),
+            _spans_provider(db),
+        ),
+        VirtualTable(
+            "SYS_CO_STATS",
+            _columns(
+                ("co_name", VARCHAR()),
+                ("component", VARCHAR()),
+                ("kind", VARCHAR()),
+                ("cardinality", INTEGER),
+                ("rounds", INTEGER),
+                ("queries", INTEGER),
+                ("duration_ms", FLOAT),
+                ("instantiations", INTEGER),
+            ),
+            _co_stats_provider(db),
+        ),
+        VirtualTable(
+            "SYS_STAT_ESTIMATES",
+            _columns(
+                ("source", VARCHAR()),
+                ("operator", VARCHAR()),
+                ("predicate", VARCHAR()),
+                ("est_rows", FLOAT),
+                ("actual_rows", FLOAT),
+                ("q_error", FLOAT),
+                ("samples", INTEGER),
+            ),
+            _estimates_provider(db),
+        ),
+    ]
+
+
+def install_sys_tables(db) -> None:
+    """Register the SYS tables on *db*'s catalog (idempotent)."""
+    catalog = db.catalog
+    for table in build_sys_tables(db):
+        if not catalog.is_virtual(table.name):
+            catalog.register_virtual(table)

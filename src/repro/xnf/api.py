@@ -20,6 +20,7 @@ from repro.xnf.cursors import DependentCursor, IndependentCursor
 from repro.xnf.lang import xast
 from repro.xnf.lang.parser import parse_xnf_statements
 from repro.xnf.manipulate import Manipulator
+from repro.xnf.monitor import install_monitor
 from repro.xnf.paths import evaluate_path
 from repro.xnf.restrict import apply_instance_restrictions
 from repro.xnf.semantic_rewrite import InstantiationStats, XNFCompiler
@@ -174,6 +175,9 @@ class XNFSession:
         self.last_stats: Optional[InstantiationStats] = None
         # name -> (handle, resolved source schema); see materialize_view()
         self._snapshots: Dict[str, tuple] = {}
+        # Built-in self-monitoring CO over the SYS_* tables (no-op when the
+        # database's catalog lacks them).
+        install_monitor(self)
 
     # -- statement execution -------------------------------------------------------
 

@@ -112,6 +112,7 @@ class XNFCompiler:
         self._current_schema = schema
         schema.validate()
         self.db.metrics.inc("xnf.fixpoint.instantiations")
+        started = time.perf_counter()
         with self.db.tracer.span(
             "xnf.instantiate", co=schema.name or "<anonymous>"
         ) as span:
@@ -124,7 +125,25 @@ class XNFCompiler:
                 tuples=instance.total_tuples(),
                 connections=instance.total_connections(),
             )
+            self._record_co_stats(schema, instance, time.perf_counter() - started)
             return instance
+
+    def _record_co_stats(
+        self, schema: COSchema, instance: COInstance, duration_s: float
+    ) -> None:
+        """Report node/edge cardinalities and the fixpoint profile to the
+        engine's CO-stats registry (surfaced as ``SYS_CO_STATS``)."""
+        registry = getattr(self.db, "co_stats", None)
+        if registry is None:
+            return
+        registry.record(
+            schema.name or "<anonymous>",
+            {name: len(rows) for name, rows in instance.rows.items()},
+            {name: len(conns) for name, conns in instance.connections.items()},
+            self.stats.iterations,
+            self.stats.queries_issued,
+            duration_s,
+        )
 
     # -- candidate sets ------------------------------------------------------------
 

@@ -1,0 +1,100 @@
+"""Estimate-vs-actual feedback loop (ISSUE 5 tentpole, part 3).
+
+EXPLAIN ANALYZE records per-operator actual cardinalities and q-errors
+into the feedback registry (surfaced as ``SYS_STAT_ESTIMATES``); with
+``optimizer_feedback=True`` the planner consults observed actuals on
+re-planning, collapsing the q-error toward 1.
+"""
+
+import pytest
+
+from repro.obs.feedback import FeedbackRegistry
+from repro.relational.engine import Database
+
+
+@pytest.fixture
+def skewed_db():
+    """1000 rows, 990 of them b=0: the uniform-selectivity guess for
+    ``b = 0`` is off by ~an order of magnitude until ANALYZE+feedback."""
+    db = Database(optimizer_feedback=True)
+    db.execute("CREATE TABLE s (a INTEGER, b INTEGER)")
+    db.execute("BEGIN")
+    for i in range(1000):
+        db.execute(f"INSERT INTO s VALUES ({i}, {0 if i < 990 else i})")
+    db.execute("COMMIT")
+    db.execute("ANALYZE")
+    return db
+
+
+class TestFeedbackRegistry:
+    def test_record_and_lookup(self):
+        reg = FeedbackRegistry()
+        reg.record("T", "Filter", "(T.b = ?0)", est_rows=10.0, actual_rows=500.0)
+        assert reg.lookup_rows("T", "(T.b = ?0)") == 500.0
+        entry = reg.entries()[0]
+        assert entry.q_error == pytest.approx(50.0)
+
+    def test_ewma_smoothing_on_repeat(self):
+        reg = FeedbackRegistry()
+        reg.record("T", "Filter", "p", est_rows=10.0, actual_rows=100.0)
+        reg.record("T", "Filter", "p", est_rows=10.0, actual_rows=200.0)
+        assert reg.lookup_rows("T", "p") == pytest.approx(150.0)
+        assert reg.entries()[0].samples == 2
+
+    def test_bounded_capacity(self):
+        reg = FeedbackRegistry(capacity=4)
+        for i in range(10):
+            reg.record("T", "Filter", f"p{i}", est_rows=1.0, actual_rows=2.0)
+        assert len(reg) <= 4
+        assert reg.evicted == 6
+
+
+class TestFeedbackLoop:
+    def test_analyze_records_normalized_keys(self, skewed_db):
+        skewed_db.execute("EXPLAIN ANALYZE SELECT * FROM s WHERE b = 0")
+        keys = {
+            (e.source, e.predicate) for e in skewed_db.feedback.entries()
+        }
+        assert ("S", "(s.b = ?0)") in keys
+
+    def test_replanning_consults_feedback(self, skewed_db):
+        """After one instrumented run, a re-plan of the same shape uses
+        the observed cardinality instead of the static guess."""
+        skewed_db.execute("EXPLAIN ANALYZE SELECT * FROM s WHERE b = 0")
+        entry = next(
+            e for e in skewed_db.feedback.entries() if e.source == "S"
+        )
+        first_q = entry.q_error
+        assert entry.actual_rows == pytest.approx(990.0)
+
+        skewed_db.plan_cache.clear()
+        skewed_db.execute("EXPLAIN ANALYZE SELECT * FROM s WHERE b = 0")
+        entry = next(
+            e for e in skewed_db.feedback.entries() if e.source == "S"
+        )
+        # second plan started from the observed 990, so est == actual
+        assert entry.q_error <= first_q
+        assert entry.q_error == pytest.approx(1.0, rel=0.01)
+        assert entry.est_rows == pytest.approx(990.0, rel=0.01)
+
+    def test_feedback_disabled_by_default(self):
+        db = Database()
+        db.execute("CREATE TABLE s (a INTEGER, b INTEGER)")
+        db.execute("BEGIN")
+        for i in range(200):
+            db.execute(f"INSERT INTO s VALUES ({i}, 0)")
+        db.execute("COMMIT")
+        db.execute("ANALYZE")
+        db.execute("EXPLAIN ANALYZE SELECT * FROM s WHERE b = 0")
+        entry = next(e for e in db.feedback.entries() if e.source == "S")
+        first_est = entry.est_rows
+        db.plan_cache.clear()
+        db.execute("EXPLAIN ANALYZE SELECT * FROM s WHERE b = 0")
+        entry = next(e for e in db.feedback.entries() if e.source == "S")
+        # registry still fills (observability), but the planner ignores it
+        assert entry.est_rows == pytest.approx(first_est)
+
+    def test_estimates_section_in_metrics_snapshot(self, skewed_db):
+        skewed_db.execute("EXPLAIN ANALYZE SELECT * FROM s WHERE b = 0")
+        snap = skewed_db.metrics_snapshot()
+        assert snap["estimates"]["tracked"] >= 1
