@@ -8,10 +8,12 @@ satellite f), written to ``BENCH_observability.json`` for
   (``SELECT … FROM SYS_STAT_STATEMENTS ORDER BY mean_ms DESC``) plus a
   two-way SYS join, over a registry warmed with a few hundred statements.
 * ``tracing_overhead`` — relative cost of running a cached, pre-parsed
-  SELECT with tracing + statement stats ON vs. OFF.  Trials interleave
-  the two configurations (A/B/A/B…) so CPU-frequency drift cancels; the
-  ledger records the **median** of per-trial ratios.  The CI gate budget
-  is 5% (``TRACING_OVERHEAD_BUDGET``).
+  SELECT with tracing + statement stats ON vs. OFF.  Trials pair the two
+  configurations with alternating order (traced-first, then
+  untraced-first — ABBA) so CPU-frequency and cache-warmth drift cancels
+  instead of systematically favouring whichever side runs second; the
+  ledger records the best of three block **medians** of per-pair ratios.
+  The CI gate budget is 5% (``TRACING_OVERHEAD_BUDGET``).
 """
 
 import gc
@@ -95,7 +97,7 @@ def test_tracing_overhead(benchmark):
     for statement in mix:
         db.execute_ast(statement)  # warm the plan cache for both configs
 
-    def batch(n=25):
+    def batch(n=50):
         for _ in range(n):
             for statement in mix:
                 db.execute_ast(statement)
@@ -104,14 +106,22 @@ def test_tracing_overhead(benchmark):
         db.tracer.enabled = enabled
         db.statement_stats.enabled = enabled
 
+    def timed(enabled: bool) -> float:
+        configure(enabled)
+        begin = time.perf_counter()
+        batch()
+        return time.perf_counter() - begin
+
     # warm-up both configurations before measuring
     for enabled in (True, False):
         configure(enabled)
         batch()
 
-    # The true overhead is a few µs per ~250µs statement; scheduler and
+    # The true overhead is a few µs per ~150µs statement; scheduler and
     # allocator noise in CI easily exceeds it per batch.  Estimate per
-    # block as the median of paired (traced/untraced) ratios, then take
+    # block as the median of paired (traced/untraced) ratios — pairs
+    # alternate which configuration runs first, so warm-up drift inside a
+    # pair cancels over the block instead of biasing the ratio — then take
     # the best of three independent blocks: noise only ever inflates a
     # block, so the minimum is the tightest *stable* estimate.
     block_estimates = []
@@ -121,15 +131,13 @@ def test_tracing_overhead(benchmark):
     try:
         for _ in range(3):
             ratios = []
-            for _ in range(10):
-                configure(True)
-                begin = time.perf_counter()
-                batch()
-                traced = time.perf_counter() - begin
-                configure(False)
-                begin = time.perf_counter()
-                batch()
-                untraced = time.perf_counter() - begin
+            for pair in range(10):
+                if pair % 2 == 0:
+                    traced = timed(True)
+                    untraced = timed(False)
+                else:
+                    untraced = timed(False)
+                    traced = timed(True)
                 ratios.append(traced / untraced - 1.0)
             block_estimates.append(statistics.median(ratios))
             all_ratios.extend(ratios)

@@ -75,16 +75,29 @@ def test_cache_path_navigation(benchmark, setup):
     assert benchmark(navigate) > 0
 
 
+def _timed_query(db, reps=3):
+    """Best-of-``reps`` wall time after one untimed warm-up execution.
+
+    The warm-up makes the two modes comparable: rewrite-OFF plans are
+    plan-cached while merged rewrite-ON plans are rebuilt per call, so a
+    single cold shot would compare planning+execution against cached
+    execution and flake at the millisecond scale measured here.
+    """
+    rows = db.execute(PATH_SQL).rows
+    best = float("inf")
+    for _ in range(reps):
+        begin = time.perf_counter()
+        db.execute(PATH_SQL)
+        best = min(best, time.perf_counter() - begin)
+    return best, rows
+
+
 def _report_body(setup):
     db = setup
     db.enable_rewrite = True
-    begin = time.perf_counter()
-    with_rewrite = db.execute(PATH_SQL).rows
-    rewrite_time = time.perf_counter() - begin
+    rewrite_time, with_rewrite = _timed_query(db)
     db.enable_rewrite = False
-    begin = time.perf_counter()
-    without_rewrite = db.execute(PATH_SQL).rows
-    plain_time = time.perf_counter() - begin
+    plain_time, without_rewrite = _timed_query(db)
     db.enable_rewrite = True
     assert sorted(with_rewrite) == sorted(without_rewrite)
 

@@ -27,6 +27,14 @@ It additionally gates the observability cost ledger
   accidentally quadratic snapshot providers, not µs-level drift);
 * a missing observability ledger fails the gate.
 
+And the vectorized-executor ledger (``BENCH_vectorized.json``, written by
+``bench_vectorized.py``):
+
+* **batch speedup** — every gated workload (setwise OO1 traversal, XNF
+  semantic-rewrite extraction) must show the batch executor at least
+  ``VEC_SPEEDUP_FLOOR`` (default 3.0) times faster than the row executor;
+* a missing vectorized ledger fails the gate.
+
 ``--update`` regenerates the baseline from the fresh ledger (run the
 benchmark smoke first, then commit the result).
 
@@ -43,6 +51,7 @@ import sys
 HERE = pathlib.Path(__file__).resolve().parent
 LEDGER_PATH = HERE.parent / "BENCH_plan_cache.json"
 OBSERVABILITY_LEDGER_PATH = HERE.parent / "BENCH_observability.json"
+VECTORIZED_LEDGER_PATH = HERE.parent / "BENCH_vectorized.json"
 BASELINE_PATH = HERE / "baseline.json"
 
 TOLERANCE = float(os.environ.get("PERF_TOLERANCE", "0.30"))
@@ -52,6 +61,11 @@ TRACING_OVERHEAD_BUDGET = float(
     os.environ.get("TRACING_OVERHEAD_BUDGET", "0.05")
 )
 SYS_SCAN_BUDGET_MS = float(os.environ.get("SYS_SCAN_BUDGET_MS", "50.0"))
+VEC_SPEEDUP_FLOOR = float(os.environ.get("VEC_SPEEDUP_FLOOR", "3.0"))
+
+#: Workloads the vectorized ledger must contain — a silently-dropped
+#: workload would otherwise pass the floor vacuously.
+VEC_REQUIRED_WORKLOADS = ("oo1_setwise_traversal", "xnf_semantic_rewrite")
 
 
 def load(path: pathlib.Path) -> dict:
@@ -177,6 +191,39 @@ def check_observability(obs: dict) -> int:
     return 0
 
 
+def check_vectorized(ledger: dict) -> int:
+    """Gate the vectorized-executor ledger (minimum batch speedup)."""
+    failures = []
+    workloads = ledger.get("workloads", {})
+    for name in VEC_REQUIRED_WORKLOADS:
+        if name not in workloads:
+            failures.append(f"vectorized: workload {name} missing from ledger")
+    for name, stats in sorted(workloads.items()):
+        speedup = stats.get("speedup")
+        if speedup is None:
+            failures.append(f"vectorized: workload {name} lacks a speedup")
+            continue
+        verdict = "FAIL" if speedup < VEC_SPEEDUP_FLOOR else "ok"
+        print(
+            f"vectorized: {name} {speedup:.2f}x "
+            f"(row {stats.get('row_s', float('nan')):.3f}s, "
+            f"batch {stats.get('batch_s', float('nan')):.3f}s; "
+            f"floor {VEC_SPEEDUP_FLOOR:.1f}x) {verdict}"
+        )
+        if speedup < VEC_SPEEDUP_FLOOR:
+            failures.append(
+                f"vectorized: {name} speedup {speedup:.2f}x below the "
+                f"{VEC_SPEEDUP_FLOOR:.1f}x floor"
+            )
+    if failures:
+        print("\nvectorized gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("vectorized gate passed")
+    return 0
+
+
 def main(argv) -> int:
     ledger = load(LEDGER_PATH)
     if "--update" in argv:
@@ -184,7 +231,8 @@ def main(argv) -> int:
         return 0
     status = check(ledger, load(BASELINE_PATH))
     obs_status = check_observability(load(OBSERVABILITY_LEDGER_PATH))
-    return status or obs_status
+    vec_status = check_vectorized(load(VECTORIZED_LEDGER_PATH))
+    return status or obs_status or vec_status
 
 
 if __name__ == "__main__":

@@ -13,7 +13,13 @@ Recorded per operator:
   correlated subplan runs once per outer row and the counts accumulate);
 * ``loops``   — number of times the operator was (re-)opened;
 * ``time_s``  — cumulative wall time spent *inside* the operator and its
-  subtree (inclusive, like PostgreSQL's ``actual time``).
+  subtree (inclusive, like PostgreSQL's ``actual time``);
+* ``batches`` — for vectorized (``Vec*``) operators, the number of column
+  batches produced; ``rows_out`` then counts the batches' active rows.
+
+Vectorized operators are instrumented at their ``batches`` method rather
+than ``rows`` — wrapping both would double-count, since ``VecOp.rows`` is
+defined over ``batches``.
 
 ``rows in`` for the renderer is simply the children's ``rows_out``.
 """
@@ -24,18 +30,20 @@ import time
 from typing import Dict
 
 from repro.relational.executor.operators import PlanOp
+from repro.relational.executor.vectorized import VecOp
 
 
 class OpStats:
     """Execution counters of one plan operator instance."""
 
-    __slots__ = ("op", "rows_out", "loops", "time_s")
+    __slots__ = ("op", "rows_out", "loops", "time_s", "batches")
 
     def __init__(self, op: PlanOp):
         self.op = op
         self.rows_out = 0
         self.loops = 0
         self.time_s = 0.0
+        self.batches = 0
 
 
 def instrument_plan(root: PlanOp) -> Dict[int, OpStats]:
@@ -52,25 +60,50 @@ def instrument_plan(root: PlanOp) -> Dict[int, OpStats]:
         if id(op) in stats:
             return
         st = stats[id(op)] = OpStats(op)
-        inner = op.rows  # bound method, captured before shadowing
+        if isinstance(op, VecOp):
+            # Vectorized operators produce batches; `VecOp.rows` iterates
+            # `self.batches`, so shadowing the instance's `batches` also
+            # counts consumption through the row interface — exactly once.
+            inner_batches = op.batches  # bound method, captured first
 
-        def counted_rows(env, _inner=inner, _st=st):
-            _st.loops += 1
-            begin = time.perf_counter()
-            iterator = iter(_inner(env))
-            _st.time_s += time.perf_counter() - begin
-            while True:
+            def counted_batches(env, _inner=inner_batches, _st=st):
+                _st.loops += 1
                 begin = time.perf_counter()
-                try:
-                    row = next(iterator)
-                except StopIteration:
-                    _st.time_s += time.perf_counter() - begin
-                    return
+                iterator = iter(_inner(env))
                 _st.time_s += time.perf_counter() - begin
-                _st.rows_out += 1
-                yield row
+                while True:
+                    begin = time.perf_counter()
+                    try:
+                        batch = next(iterator)
+                    except StopIteration:
+                        _st.time_s += time.perf_counter() - begin
+                        return
+                    _st.time_s += time.perf_counter() - begin
+                    _st.batches += 1
+                    _st.rows_out += batch.num_active
+                    yield batch
 
-        op.rows = counted_rows  # type: ignore[method-assign]
+            op.batches = counted_batches  # type: ignore[method-assign]
+        else:
+            inner = op.rows  # bound method, captured before shadowing
+
+            def counted_rows(env, _inner=inner, _st=st):
+                _st.loops += 1
+                begin = time.perf_counter()
+                iterator = iter(_inner(env))
+                _st.time_s += time.perf_counter() - begin
+                while True:
+                    begin = time.perf_counter()
+                    try:
+                        row = next(iterator)
+                    except StopIteration:
+                        _st.time_s += time.perf_counter() - begin
+                        return
+                    _st.time_s += time.perf_counter() - begin
+                    _st.rows_out += 1
+                    yield row
+
+            op.rows = counted_rows  # type: ignore[method-assign]
         for child in op.children():
             wrap(child)
 
@@ -94,6 +127,9 @@ def render_analyzed(root: PlanOp, stats: Dict[int, OpStats], indent: int = 0) ->
             parts.append(f"rows_in={rows_in}")
         parts.append(f"loops={st.loops}")
         parts.append(f"time={st.time_s * 1e3:.3f}ms")
+        if st.batches:
+            parts.append(f"batches={st.batches}")
+            parts.append(f"fill={st.rows_out / st.batches:.1f}")
         annotation = "  (" + ", ".join(parts) + ")"
     lines = ["  " * indent + root.label + annotation]
     lines.extend(

@@ -64,14 +64,18 @@ class StatementStatsRegistry:
         if not self.enabled:
             return
         with self._lock:
-            stat = self._stats.get(fingerprint)
+            stats = self._stats
+            stat = stats.get(fingerprint)
             if stat is None:
-                if len(self._stats) >= self.capacity:
-                    self._stats.popitem(last=False)
+                if len(stats) >= self.capacity:
+                    stats.popitem(last=False)
                     self.evicted += 1
-                stat = self._stats[fingerprint] = StatementStat(fingerprint)
-            else:
-                self._stats.move_to_end(fingerprint)
+                stat = stats[fingerprint] = StatementStat(fingerprint)
+            elif len(stats) >= self.capacity:
+                # Refresh recency only once the registry is full: below
+                # capacity nothing can be evicted, so the move_to_end per
+                # record would be pure hot-path overhead.
+                stats.move_to_end(fingerprint)
             stat.calls += 1
             stat.total_s += elapsed_s
             stat.rows += rows

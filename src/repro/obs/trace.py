@@ -33,14 +33,19 @@ class Span:
     calls and a couple of list operations.
     """
 
-    __slots__ = ("name", "_attrs", "start_s", "end_s", "children", "_tracer", "span_id")
+    __slots__ = (
+        "name", "_attrs", "start_s", "end_s", "_children", "_tracer", "span_id"
+    )
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
         self._attrs = attrs
         self.start_s = time.perf_counter()
         self.end_s: Optional[float] = None
-        self.children: List["Span"] = []
+        # Child list and attribute dict are allocated lazily: most spans are
+        # leaves with no attributes, and span creation sits on the per-
+        # statement hot path whose overhead budget is gated in CI.
+        self._children: Optional[List["Span"]] = None
         self._tracer: Optional["Tracer"] = None
         self.span_id = next(_SPAN_IDS)
 
@@ -49,6 +54,12 @@ class Span:
         if self._attrs is None:
             self._attrs = {}
         return self._attrs
+
+    @property
+    def children(self) -> List["Span"]:
+        if self._children is None:
+            self._children = []
+        return self._children
 
     @property
     def duration_s(self) -> float:
@@ -81,7 +92,7 @@ class Span:
 
     def walk(self) -> Iterator["Span"]:
         yield self
-        for child in self.children:
+        for child in self._children or ():
             yield from child.walk()
 
     def find(self, name: str) -> List["Span"]:
@@ -97,8 +108,8 @@ class Span:
         }
         if self._attrs:
             out["attrs"] = dict(self._attrs)
-        if self.children:
-            out["children"] = [child.to_dict() for child in self.children]
+        if self._children:
+            out["children"] = [child.to_dict() for child in self._children]
         return out
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -123,7 +134,7 @@ class Span:
         if detail is not None:
             pad = "  " * (indent + 1)
             lines.extend(pad + extra for extra in str(detail).splitlines())
-        lines.extend(child.render(indent + 1) for child in self.children)
+        lines.extend(child.render(indent + 1) for child in self._children or ())
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -182,7 +193,11 @@ class Tracer:
         span._tracer = self
         stack = self._stack
         if stack:
-            stack[-1].children.append(span)
+            parent = stack[-1]
+            if parent._children is None:
+                parent._children = [span]
+            else:
+                parent._children.append(span)
         stack.append(span)
         return span
 

@@ -12,6 +12,7 @@ manager.  Per-stage wall-clock timings of the last statement are kept in
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -35,6 +36,7 @@ from repro.obs.trace import Tracer
 from repro.relational.catalog import Catalog, Column, Table
 from repro.relational.executor.exprs import PlanContext
 from repro.relational.executor.operators import SeqScan
+from repro.relational.executor.vectorized import VecOp
 from repro.relational.optimizer.planner import CompiledPlan, Planner
 from repro.relational.plancache import (
     CacheEntry,
@@ -186,6 +188,7 @@ class Database:
         slow_query_threshold_s: Optional[float] = None,
         statement_stats: bool = True,
         optimizer_feedback: bool = False,
+        executor: Optional[str] = None,
     ):
         # An existing disk/WAL pair may be passed in: that is how a crashed
         # instance is reopened over its surviving stable storage (see
@@ -200,6 +203,17 @@ class Database:
         self.io_retries = io_retries
         self.io_retry_backoff_s = io_retry_backoff_s
         self.enable_rewrite = enable_rewrite
+        #: physical executor mode: "row" (tuple-at-a-time), "batch"
+        #: (vectorized wherever possible), or "auto" (vectorize scans of
+        #: tables past a small-row threshold).  Resolution order: explicit
+        #: ``executor=`` argument, then the REPRO_EXECUTOR environment
+        #: variable, then "auto".
+        mode = executor or os.environ.get("REPRO_EXECUTOR") or "auto"
+        if mode not in ("row", "auto", "batch"):
+            raise ExecutionError(
+                f"unknown executor mode {mode!r} (expected row, auto or batch)"
+            )
+        self.executor_mode = mode
         self.isolation = IsolationLevel.REPEATABLE_READ
         self._txn: Optional[Transaction] = None
         self.last_timings: Dict[str, float] = {}
@@ -425,7 +439,12 @@ class Database:
         plan = self._analyze_compile(query)
         op_stats = instrument_plan(plan.op)
         start = time.perf_counter()
-        rows = self._collect_rows(plan)
+        with self.tracer.span("execute") as span:
+            rows = self._collect_rows(plan)
+            span.annotate(rows=len(rows), executor=self.executor_mode)
+            batches = sum(stat.batches for stat in op_stats.values())
+            if batches:
+                span.annotate(batches=batches)
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
         self._record_estimates(op_stats)
@@ -563,7 +582,11 @@ class Database:
         timings["rewrite"] = time.perf_counter() - start
         start = time.perf_counter()
         with self.tracer.span("optimize"):
-            plan = Planner(self.catalog, feedback=self._planner_feedback()).plan_statement(box)
+            plan = Planner(
+                self.catalog,
+                feedback=self._planner_feedback(),
+                mode=self.executor_mode,
+            ).plan_statement(box)
         timings["optimize"] = time.perf_counter() - start
         self.last_timings.update(timings)
         return plan
@@ -574,7 +597,11 @@ class Database:
     def compile_box(self, box: Box) -> CompiledPlan:
         """Rewrite + optimize an externally-built QGM box (XNF path)."""
         box = self._rewrite(box)
-        return Planner(self.catalog, feedback=self._planner_feedback()).plan_statement(box)
+        return Planner(
+            self.catalog,
+            feedback=self._planner_feedback(),
+            mode=self.executor_mode,
+        ).plan_statement(box)
 
     def _rewrite(self, box: Box) -> Box:
         if not self.enable_rewrite:
@@ -595,8 +622,11 @@ class Database:
         start = time.perf_counter()
         with self.tracer.span("execute") as span:
             rows = self._collect_rows(plan)
-            span.annotate(rows=len(rows))
+            span.annotate(rows=len(rows), executor=self.executor_mode)
             if op_stats is not None:
+                batches = sum(stat.batches for stat in op_stats.values())
+                if batches:
+                    span.annotate(batches=batches)
                 span.annotate(detail=render_analyzed(plan.op, op_stats))
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
@@ -615,7 +645,7 @@ class Database:
         start = time.perf_counter()
         with self.tracer.span("execute") as span:
             rows = self._collect_rows(plan)
-            span.annotate(rows=len(rows))
+            span.annotate(rows=len(rows), executor=self.executor_mode)
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
         return Result(plan.columns, rows, len(rows))
@@ -623,9 +653,9 @@ class Database:
     def _collect_rows(self, plan: CompiledPlan) -> List[Tuple[Any, ...]]:
         """Materialize a plan's rows under the execution guards.
 
-        * the statement timeout is checked per produced row, so a runaway
-          query aborts with :class:`ResourceExhaustedError` instead of
-          spinning;
+        * the statement timeout is checked per produced row (per batch for
+          vectorized plans), so a runaway query aborts with
+          :class:`ResourceExhaustedError` instead of spinning;
         * a transient :class:`IOFaultError` (injected read error) restarts
           the whole collection after a short backoff, up to ``io_retries``
           times — queries have no side effects, so re-running the plan's
@@ -640,6 +670,22 @@ class Database:
             )
             try:
                 rows: List[Tuple[Any, ...]] = []
+                if isinstance(plan.op, VecOp):
+                    # Drain a vectorized root batch-at-a-time: one transpose
+                    # per batch instead of one generator hop per row.
+                    for batch in plan.batches():
+                        if deadline is not None and time.perf_counter() > deadline:
+                            raise ResourceExhaustedError(
+                                "query exceeded statement timeout of "
+                                f"{self.statement_timeout_s}s"
+                            )
+                        rows.extend(batch.to_rows())
+                    if deadline is not None and time.perf_counter() > deadline:
+                        raise ResourceExhaustedError(
+                            "query exceeded statement timeout of "
+                            f"{self.statement_timeout_s}s"
+                        )
+                    return rows
                 for row in plan.rows():
                     if deadline is not None and time.perf_counter() > deadline:
                         raise ResourceExhaustedError(

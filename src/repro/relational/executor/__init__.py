@@ -1,14 +1,34 @@
-"""Iterator-based query executor.
+"""Query executor: row-at-a-time and vectorized batch pipelines.
 
-Physical operators (:mod:`~repro.relational.executor.operators`) consume and
-produce plain Python tuples; all column resolution happens at plan-compile
-time, when expressions are compiled to closures over tuple positions
-(:mod:`~repro.relational.executor.exprs`).  Correlated subqueries are run as
-parameterised subplans against an environment stack, memoised when
-uncorrelated.
+Physical operators come in two interchangeable families producing
+identical results:
+
+* Row pipeline (:mod:`~repro.relational.executor.operators`): operators
+  consume and produce plain Python tuples; expressions are compiled to
+  closures over tuple positions (:mod:`~repro.relational.executor.exprs`).
+  Correlated subqueries run as parameterised subplans against an
+  environment stack, memoised when uncorrelated.
+* Batch pipeline (:mod:`~repro.relational.executor.vectorized`):
+  operators exchange :class:`~repro.relational.executor.batch.Batch`
+  column vectors (~1024 rows) with selection vectors; filter and value
+  expressions are compiled once per plan to whole-column kernels
+  (:mod:`~repro.relational.executor.batch`).  The planner picks the
+  pipeline per subtree (cost-based under ``auto`` mode) and bridges the
+  two with ``RowSource`` / ``VecOp.rows()``.
+
+All column resolution happens at plan-compile time in both pipelines.
 """
 
 from repro.relational.executor.exprs import ExprCompiler, Layout
 from repro.relational.executor import operators
+from repro.relational.executor.batch import BATCH_SIZE, Batch
+from repro.relational.executor import vectorized
 
-__all__ = ["ExprCompiler", "Layout", "operators"]
+__all__ = [
+    "ExprCompiler",
+    "Layout",
+    "operators",
+    "BATCH_SIZE",
+    "Batch",
+    "vectorized",
+]

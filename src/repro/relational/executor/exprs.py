@@ -12,7 +12,7 @@ stage, which emits an executable plan rather than re-interpreting QGM.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError, TypeCheckError
 from repro.relational.qgm.model import OuterRef, QGMColumnRef, SubqueryExpr
@@ -335,27 +335,28 @@ def _compile_outer_ref(key: Tuple[str, str]) -> CompiledExpr:
     return run
 
 
-def _compile_cast(type_name: str, arg: CompiledExpr) -> CompiledExpr:
-    def run(row, env):
-        value = arg(row, env)
-        if value is None:
-            return None
-        try:
-            if type_name in ("INTEGER", "INT", "BIGINT", "SMALLINT"):
-                return int(float(value)) if isinstance(value, str) else int(value)
-            if type_name in ("FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC"):
-                return float(value)
-            if type_name in ("VARCHAR", "CHAR", "TEXT", "STRING"):
-                if isinstance(value, bool):
-                    return "TRUE" if value else "FALSE"
-                return str(value)
-            if type_name in ("BOOLEAN", "BOOL"):
-                return bool(value)
-        except (TypeError, ValueError) as exc:
-            raise ExecutionError(f"CAST to {type_name} failed: {exc}") from exc
-        raise TypeCheckError(f"unknown CAST target {type_name}")
+def cast_value(type_name: str, value: Any) -> Any:
+    """CAST one value (shared by the row and vector compilers)."""
+    if value is None:
+        return None
+    try:
+        if type_name in ("INTEGER", "INT", "BIGINT", "SMALLINT"):
+            return int(float(value)) if isinstance(value, str) else int(value)
+        if type_name in ("FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC"):
+            return float(value)
+        if type_name in ("VARCHAR", "CHAR", "TEXT", "STRING"):
+            if isinstance(value, bool):
+                return "TRUE" if value else "FALSE"
+            return str(value)
+        if type_name in ("BOOLEAN", "BOOL"):
+            return bool(value)
+    except (TypeError, ValueError) as exc:
+        raise ExecutionError(f"CAST to {type_name} failed: {exc}") from exc
+    raise TypeCheckError(f"unknown CAST target {type_name}")
 
-    return run
+
+def _compile_cast(type_name: str, arg: CompiledExpr) -> CompiledExpr:
+    return lambda row, env: cast_value(type_name, arg(row, env))
 
 
 def _scalar_abs(args):
@@ -421,3 +422,364 @@ _SCALAR_IMPLS = {
     "MOD": _scalar_mod,
     "SUBSTR": _scalar_substr,
 }
+
+
+# ---------------------------------------------------------------------------
+# Vectorized expression compilation (the batch executor's inner loops)
+# ---------------------------------------------------------------------------
+
+#: Computes one value per live row: ``vfn(columns, idx, env) -> list``.
+VecValueFn = Callable[[Sequence[Sequence[Any]], Sequence[int], List[Dict]], list]
+
+#: Filters a selection vector: ``sel(columns, idx, env) -> List[int]``.
+SelFn = Callable[[Sequence[Sequence[Any]], Sequence[int], List[Dict]], List[int]]
+
+_VEC_COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class VecExprCompiler:
+    """Compiles resolved expressions into *vector* closures over a batch.
+
+    ``compile_value`` returns a closure producing one value per live row;
+    ``compile_filter`` returns a closure shrinking a selection vector to the
+    rows on which the predicate is True.  Both return ``None`` when the
+    expression is not vectorizable (subqueries, CASE, …) — the planner then
+    falls back to the row pipeline for that operator.  Compilation happens
+    once per plan; the closures run once per *batch*, which is the whole
+    point: per-row closure dispatch is replaced by per-batch loops over
+    column lists (see :mod:`repro.relational.executor.batch`).
+    """
+
+    def __init__(self, layout: Layout, context: Optional[PlanContext] = None):
+        self.layout = layout
+        self.context = context
+
+    # -- filters ---------------------------------------------------------------
+
+    def compile_filter(self, expr: ast.Expr) -> Optional[SelFn]:
+        from repro.relational.executor import batch as B
+
+        if isinstance(expr, ast.BinaryOp):
+            if expr.op == "AND":
+                left = self.compile_filter(expr.left)
+                right = self.compile_filter(expr.right)
+                if left is not None and right is not None:
+                    # Sequential selection is exact 3VL filtering:
+                    # (a AND b) is True  ⇔  a is True and b is True.
+                    return lambda cols, idx, env: right(
+                        cols, left(cols, idx, env), env
+                    )
+                return self._truth_filter(expr)
+            if expr.op in _VEC_COMPARISONS:
+                sel = self._filter_comparison(expr)
+                if sel is not None:
+                    return sel
+                return self._truth_filter(expr)
+            if expr.op == "LIKE":
+                pos = self._column_position(expr.left)
+                pattern = expr.right
+                if pos is not None and isinstance(pattern, ast.Literal) and isinstance(
+                    pattern.value, str
+                ):
+                    pat = pattern.value
+                    return lambda cols, idx, env: B.sel_like_const(
+                        cols[pos], idx, pat, False
+                    )
+                return self._truth_filter(expr)
+            return self._truth_filter(expr)
+        if isinstance(expr, ast.IsNull):
+            pos = self._column_position(expr.operand)
+            if pos is not None:
+                negated = expr.negated
+                return lambda cols, idx, env: B.sel_is_null(
+                    cols[pos], idx, negated
+                )
+            return self._truth_filter(expr)
+        if isinstance(expr, ast.InList):
+            sel = self._filter_in_list(expr)
+            if sel is not None:
+                return sel
+            return self._truth_filter(expr)
+        if isinstance(expr, ast.Between) and not expr.negated:
+            pos = self._column_position(expr.operand)
+            low = self._const_fetch(expr.low)
+            high = self._const_fetch(expr.high)
+            if pos is not None and low is not None and high is not None:
+                def sel_between(cols, idx, env):
+                    col = cols[pos]
+                    idx = B.sel_cmp_const(col, idx, ">=", low(env))
+                    return B.sel_cmp_const(col, idx, "<=", high(env))
+
+                return sel_between
+            return self._truth_filter(expr)
+        return self._truth_filter(expr)
+
+    def _truth_filter(self, expr: ast.Expr) -> Optional[SelFn]:
+        """Fallback: compute the 3VL truth vector, keep the True rows."""
+        from repro.relational.executor.batch import sel_from_truth
+
+        vfn = self.compile_value(expr)
+        if vfn is None:
+            return None
+        return lambda cols, idx, env: sel_from_truth(idx, vfn(cols, idx, env))
+
+    def _filter_comparison(self, expr: ast.BinaryOp) -> Optional[SelFn]:
+        from repro.relational.executor import batch as B
+
+        flip = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        left_pos = self._column_position(expr.left)
+        right_pos = self._column_position(expr.right)
+        if left_pos is not None and right_pos is not None:
+            op = expr.op
+            return lambda cols, idx, env: B.sel_cmp_columns(
+                cols[left_pos], cols[right_pos], idx, op
+            )
+        if left_pos is not None:
+            const = self._const_fetch(expr.right)
+            if const is not None:
+                op = expr.op
+                pos = left_pos
+                return lambda cols, idx, env: B.sel_cmp_const(
+                    cols[pos], idx, op, const(env)
+                )
+        if right_pos is not None:
+            const = self._const_fetch(expr.left)
+            if const is not None:
+                op = flip[expr.op]
+                pos = right_pos
+                return lambda cols, idx, env: B.sel_cmp_const(
+                    cols[pos], idx, op, const(env)
+                )
+        return None
+
+    def _filter_in_list(self, expr: ast.InList) -> Optional[SelFn]:
+        from repro.relational.executor import batch as B
+
+        pos = self._column_position(expr.operand)
+        if pos is None:
+            return None
+        fetchers = [self._const_fetch(item) for item in expr.items]
+        if any(fetch is None for fetch in fetchers):
+            return None
+        negated = expr.negated
+        if all(isinstance(item, ast.Literal) for item in expr.items):
+            literals = [item.value for item in expr.items]  # type: ignore[union-attr]
+            values = frozenset(v for v in literals if v is not None)
+            has_null = len(values) != len(literals)
+            return lambda cols, idx, env: B.sel_in_set(
+                cols[pos], idx, values, has_null, negated
+            )
+
+        def sel_in(cols, idx, env):
+            items = [fetch(env) for fetch in fetchers]  # type: ignore[misc]
+            values = frozenset(v for v in items if v is not None)
+            return B.sel_in_set(
+                cols[pos], idx, values, len(values) != len(items), negated
+            )
+
+        return sel_in
+
+    # -- values ----------------------------------------------------------------
+
+    def compile_value(self, expr: ast.Expr) -> Optional[VecValueFn]:
+        from repro.relational.executor.batch import gather
+
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda cols, idx, env: [value] * len(idx)
+        if isinstance(expr, ast.Parameter):
+            ctx = self.context
+            if ctx is None:
+                return None
+            slot = expr.index
+            return lambda cols, idx, env: [ctx.params[slot]] * len(idx)
+        if isinstance(expr, QGMColumnRef):
+            key = (expr.quantifier, expr.column)
+            if key not in self.layout:
+                return None
+            pos = self.layout[key]
+            return lambda cols, idx, env: gather(cols[pos], idx)
+        if isinstance(expr, OuterRef):
+            key = (expr.quantifier, expr.column)
+            lookup = _compile_outer_ref(key)
+            return lambda cols, idx, env: [lookup((), env)] * len(idx)
+        if isinstance(expr, ast.BinaryOp):
+            return self._value_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self.compile_value(expr.operand)
+            if operand is None:
+                return None
+            if expr.op == "NOT":
+                return lambda cols, idx, env: [
+                    tv_not(v) for v in operand(cols, idx, env)
+                ]
+            if expr.op == "-":
+                return lambda cols, idx, env: [
+                    None if v is None else -v for v in operand(cols, idx, env)
+                ]
+            return None
+        if isinstance(expr, ast.IsNull):
+            operand = self.compile_value(expr.operand)
+            if operand is None:
+                return None
+            if expr.negated:
+                return lambda cols, idx, env: [
+                    v is not None for v in operand(cols, idx, env)
+                ]
+            return lambda cols, idx, env: [
+                v is None for v in operand(cols, idx, env)
+            ]
+        if isinstance(expr, ast.Between):
+            return self._value_between(expr)
+        if isinstance(expr, ast.InList):
+            return self._value_in_list(expr)
+        if isinstance(expr, ast.FuncCall):
+            return self._value_func(expr)
+        # SubqueryExpr, Case and anything unknown: not vectorizable.
+        return None
+
+    def _value_binary(self, expr: ast.BinaryOp) -> Optional[VecValueFn]:
+        op = expr.op
+        left = self.compile_value(expr.left)
+        right = self.compile_value(expr.right)
+        if left is None or right is None:
+            return None
+        if op == "AND":
+            return lambda cols, idx, env: [
+                tv_and(a, b)
+                for a, b in zip(left(cols, idx, env), right(cols, idx, env))
+            ]
+        if op == "OR":
+            return lambda cols, idx, env: [
+                tv_or(a, b)
+                for a, b in zip(left(cols, idx, env), right(cols, idx, env))
+            ]
+        if op in _VEC_COMPARISONS:
+            return lambda cols, idx, env: [
+                sql_compare(op, a, b)
+                for a, b in zip(left(cols, idx, env), right(cols, idx, env))
+            ]
+        if op in ("+", "-", "*"):
+            # Numeric fast path inline; strings and errors via sql_arith.
+            def arith(cols, idx, env):
+                out = []
+                append = out.append
+                for a, b in zip(left(cols, idx, env), right(cols, idx, env)):
+                    if a is None or b is None:
+                        append(None)
+                    elif type(a) in (int, float) and type(b) in (int, float):
+                        if op == "+":
+                            append(a + b)
+                        elif op == "-":
+                            append(a - b)
+                        else:
+                            append(a * b)
+                    else:
+                        append(sql_arith(op, a, b))
+                return out
+
+            return arith
+        if op in ("/", "%", "||"):
+            return lambda cols, idx, env: [
+                sql_arith(op, a, b)
+                for a, b in zip(left(cols, idx, env), right(cols, idx, env))
+            ]
+        if op == "LIKE":
+            return lambda cols, idx, env: [
+                sql_like(a, b)
+                for a, b in zip(left(cols, idx, env), right(cols, idx, env))
+            ]
+        return None
+
+    def _value_between(self, expr: ast.Between) -> Optional[VecValueFn]:
+        operand = self.compile_value(expr.operand)
+        low = self.compile_value(expr.low)
+        high = self.compile_value(expr.high)
+        if operand is None or low is None or high is None:
+            return None
+        negated = expr.negated
+
+        def run(cols, idx, env):
+            out = []
+            for v, lo, hi in zip(
+                operand(cols, idx, env), low(cols, idx, env), high(cols, idx, env)
+            ):
+                result = tv_and(
+                    sql_compare(">=", v, lo), sql_compare("<=", v, hi)
+                )
+                out.append(tv_not(result) if negated else result)
+            return out
+
+        return run
+
+    def _value_in_list(self, expr: ast.InList) -> Optional[VecValueFn]:
+        operand = self.compile_value(expr.operand)
+        items = [self.compile_value(item) for item in expr.items]
+        if operand is None or any(item is None for item in items):
+            return None
+        negated = expr.negated
+
+        def run(cols, idx, env):
+            value_vec = operand(cols, idx, env)
+            item_vecs = [item(cols, idx, env) for item in items]  # type: ignore[misc]
+            out = []
+            for row_pos, value in enumerate(value_vec):
+                result: Optional[bool] = False
+                for item_vec in item_vecs:
+                    result = tv_or(
+                        result, sql_compare("=", value, item_vec[row_pos])
+                    )
+                    if result is True:
+                        break
+                out.append(tv_not(result) if negated else result)
+            return out
+
+        return run
+
+    def _value_func(self, expr: ast.FuncCall) -> Optional[VecValueFn]:
+        if expr.is_aggregate:
+            return None
+        args = [self.compile_value(arg) for arg in expr.args]
+        if any(arg is None for arg in args):
+            return None
+        name = expr.name
+        if name.startswith("CAST_"):
+            type_name = name[5:]
+            arg0 = args[0]
+            return lambda cols, idx, env: [
+                cast_value(type_name, v) for v in arg0(cols, idx, env)  # type: ignore[misc]
+            ]
+        impl = _SCALAR_IMPLS.get(name)
+        if impl is None:
+            return None
+
+        def run(cols, idx, env):
+            arg_vecs = [arg(cols, idx, env) for arg in args]  # type: ignore[misc]
+            return [impl(list(row_args)) for row_args in zip(*arg_vecs)] if arg_vecs else [
+                impl([]) for _ in idx
+            ]
+
+        return run
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _column_position(self, expr: ast.Expr) -> Optional[int]:
+        if isinstance(expr, QGMColumnRef):
+            return self.layout.get((expr.quantifier, expr.column))
+        return None
+
+    def _const_fetch(self, expr: ast.Expr) -> Optional[Callable[[List[Dict]], Any]]:
+        """A per-batch fetcher for row-independent operands (literal/param)."""
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda env: value
+        if isinstance(expr, ast.Parameter):
+            ctx = self.context
+            if ctx is None:
+                return None
+            slot = expr.index
+            return lambda env: ctx.params[slot]
+        if isinstance(expr, OuterRef):
+            lookup = _compile_outer_ref((expr.quantifier, expr.column))
+            return lambda env: lookup((), env)
+        return None

@@ -326,6 +326,27 @@ class _Accumulator:
             if self.maximum is None or sort_key(value) > sort_key(self.maximum):
                 self.maximum = value
 
+    def add_value(self, value: Any) -> None:
+        """Accumulate an already-evaluated argument (the vectorized path:
+        the batch aggregate extracts argument vectors and feeds values
+        directly, skipping the per-row closure call)."""
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        kind = self.spec.kind
+        if kind in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif kind == "MIN":
+            if self.minimum is None or sort_key(value) < sort_key(self.minimum):
+                self.minimum = value
+        elif kind == "MAX":
+            if self.maximum is None or sort_key(value) > sort_key(self.maximum):
+                self.maximum = value
+
     def result(self) -> Any:
         kind = self.spec.kind
         if kind == "COUNT":

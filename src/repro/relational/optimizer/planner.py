@@ -22,7 +22,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ExecutionError
 from repro.relational.catalog import Catalog, Table
-from repro.relational.executor.exprs import ExprCompiler, Layout, PlanContext
+from repro.relational.executor.batch import gather
+from repro.relational.executor.exprs import (
+    ExprCompiler,
+    Layout,
+    PlanContext,
+    VecExprCompiler,
+    VecValueFn,
+)
 from repro.relational.executor.operators import (
     AggSpec,
     Distinct,
@@ -41,6 +48,18 @@ from repro.relational.executor.operators import (
     Sort,
     ValuesOp,
 )
+from repro.relational.executor.vectorized import (
+    VecDistinct,
+    VecFilter,
+    VecHashAggregate,
+    VecHashJoin,
+    VecLimit,
+    VecOp,
+    VecProject,
+    VecSeqScan,
+    VecSort,
+    as_batch_source,
+)
 from repro.relational.optimizer.stats import (
     join_selectivity,
     predicate_selectivity,
@@ -57,6 +76,7 @@ from repro.relational.qgm.model import (
     SubqueryExpr,
     TopBox,
     ValuesBox,
+    collect_outer_refs,
     has_subquery,
     referenced_quantifiers,
     walk_resolved,
@@ -66,10 +86,24 @@ from repro.relational.sql import ast
 #: Max quantifiers for exhaustive left-deep DP; greedy beyond this.
 DP_THRESHOLD = 8
 
+#: In executor mode "auto", sequential scans switch to the vectorized path
+#: only when the table is at least this large — below it, per-batch setup
+#: outweighs the per-row savings.  Mode "batch" vectorizes unconditionally.
+VEC_MIN_ROWS = 64
+
 #: Per-row CPU cost factors (arbitrary units; only ratios matter).
 _SEQ_ROW_COST = 0.01
 _NL_ROW_COST = 0.005
 _INDEX_PROBE_COST = 1.5
+#: Cost of materialising one matched row out of an index nested-loop join
+#: (buffer fetch + pin/unpin per match).  Charging matches — not just
+#: probes — keeps IndexNLJoin from looking free on low-selectivity joins
+#: where each probe fans out into many fetched rows.
+_FETCH_ROW_COST = 0.05
+#: CPU discount for join inputs that run through the vectorized pipeline:
+#: batch loops amortise interpreter dispatch, so a VecHashJoin's per-row
+#: cost is a fraction of the tuple-at-a-time estimate.
+_VEC_ROW_DISCOUNT = 0.3
 
 
 @dataclass
@@ -91,6 +125,12 @@ class CompiledPlan:
         if self.context is not None:
             self.context.bump()
         return self.op.rows(env if env is not None else [])
+
+    def batches(self, env: Optional[list] = None):
+        """Batch-at-a-time root iterator; only valid when ``op`` is a VecOp."""
+        if self.context is not None:
+            self.context.bump()
+        return self.op.batches(env if env is not None else [])
 
 
 @dataclass
@@ -130,6 +170,7 @@ class Planner:
         catalog: Catalog,
         context: Optional[PlanContext] = None,
         feedback=None,
+        mode: str = "row",
     ):
         self.catalog = catalog
         self.context = context if context is not None else PlanContext()
@@ -139,6 +180,54 @@ class Planner:
         #: cardinality previously *observed* for the same normalized
         #: predicate on the same table (``Database(optimizer_feedback=True)``).
         self.feedback = feedback
+        #: executor mode: "row" never vectorizes, "batch" always does (where
+        #: semantically possible), "auto" applies the :data:`VEC_MIN_ROWS`
+        #: cost threshold per scan.  Physical *join/order* choices are made
+        #: by the same cost model in every mode — vectorization only swaps
+        #: the implementation of the operator the cost model picked, so row
+        #: and batch plans always have the same shape.
+        if mode not in ("row", "auto", "batch"):
+            raise ExecutionError(f"unknown executor mode {mode!r}")
+        self.mode = mode
+        #: per-SELECT-box vectorization flag, maintained by _plan_select
+        #: (False inside boxes that are correlated or touch SYS_* tables).
+        self._vec_active = mode != "row"
+
+    # -- vectorization gates ------------------------------------------------------
+
+    def _vec_allowed(self, box: SelectBox) -> bool:
+        """Whether *box* may compile to batch operators.
+
+        Correlated boxes (any outer reference, including inside nested
+        subqueries) and boxes reading virtual SYS_* tables stay on the row
+        pipeline: the former run once per outer row where batch setup is
+        pure overhead, the latter must re-pull their snapshot provider on
+        every scan.
+        """
+        if self.mode == "row":
+            return False
+        if collect_outer_refs(box):
+            return False
+        for quant in box.quantifiers:
+            if isinstance(quant.box, BaseTableBox) and self.catalog.is_virtual(
+                quant.box.table_name
+            ):
+                return False
+        return True
+
+    def _table_vectorizable(self, table) -> bool:
+        """Table-level gate: virtual tables never, small tables only in
+        mode "batch" (mode "auto" applies the VEC_MIN_ROWS threshold)."""
+        if self.mode == "row" or table is None:
+            return False
+        if getattr(table, "is_virtual", False):
+            return False
+        if self.mode == "auto" and max(table.stats.row_count, 1) < VEC_MIN_ROWS:
+            return False
+        return True
+
+    def _vec_scan_ok(self, table) -> bool:
+        return self._vec_active and self._table_vectorizable(table)
 
     # -- public API -----------------------------------------------------------
 
@@ -164,6 +253,8 @@ class Planner:
             return self._plan_top(box)
         if isinstance(box, BaseTableBox):
             table = self.catalog.get_table(box.table_name)
+            if self._table_vectorizable(table):
+                return CompiledPlan(VecSeqScan(table), list(box.columns))
             return CompiledPlan(SeqScan(table), list(box.columns))
         if isinstance(box, ValuesBox):
             return CompiledPlan(ValuesOp(box.rows), box.output_columns())
@@ -180,9 +271,20 @@ class Planner:
     def compiler(self, layout: Layout, precomputed: Optional[Dict[str, int]] = None) -> ExprCompiler:
         return ExprCompiler(layout, self.subplan_factory, precomputed, self.context)
 
+    def vec_compiler(self, layout: Layout) -> VecExprCompiler:
+        return VecExprCompiler(layout, self.context)
+
     # -- SELECT boxes -------------------------------------------------------------
 
     def _plan_select(self, box: SelectBox) -> CompiledPlan:
+        prev_vec = self._vec_active
+        self._vec_active = self._vec_allowed(box)
+        try:
+            return self._plan_select_inner(box)
+        finally:
+            self._vec_active = prev_vec
+
+    def _plan_select_inner(self, box: SelectBox) -> CompiledPlan:
         infos = [self._quant_info(quant) for quant in box.quantifiers]
         by_name = {info.name: info for info in infos}
         outer_names = [name for name, _ in box.outer_joins]
@@ -222,26 +324,42 @@ class Planner:
 
         # Residual predicates (subqueries, post-outer-join filters).
         if residual_preds:
-            compiler = self.compiler(partial.layout)
-            predicate = compiler.compile_predicate(
-                ast.conjoin(residual_preds)  # type: ignore[arg-type]
-            )
+            conj = ast.conjoin(residual_preds)  # type: ignore[arg-type]
+            filter_op: Optional[PlanOp] = None
+            if isinstance(partial.op, VecOp):
+                sel_fn = self.vec_compiler(partial.layout).compile_filter(conj)
+                if sel_fn is not None:
+                    filter_op = VecFilter(partial.op, sel_fn, "residual")
+            if filter_op is None:
+                compiler = self.compiler(partial.layout)
+                predicate = compiler.compile_predicate(conj)
+                filter_op = Filter(partial.op, predicate, "residual")
             partial = _Partial(
                 partial.names,
-                Filter(partial.op, predicate, "residual"),
+                filter_op,
                 partial.layout,
                 partial.width,
                 partial.est_rows * 0.5,
                 partial.cost,
             )
 
-        # Head projection.
-        compiler = self.compiler(partial.layout)
-        head_fns = [compiler.compile(col.expr) for col in box.head]
+        # Head projection: vectorized when the child produces batches and
+        # every head expression compiles to a vector closure.
         names = ", ".join(col.name for col in box.head)
-        op: PlanOp = Project(partial.op, head_fns, names)
+        op: Optional[PlanOp] = None
+        if isinstance(partial.op, VecOp):
+            vec_head = [
+                self.vec_compiler(partial.layout).compile_value(col.expr)
+                for col in box.head
+            ]
+            if all(vfn is not None for vfn in vec_head):
+                op = VecProject(partial.op, vec_head, names)  # type: ignore[arg-type]
+        if op is None:
+            compiler = self.compiler(partial.layout)
+            head_fns = [compiler.compile(col.expr) for col in box.head]
+            op = Project(partial.op, head_fns, names)
         if box.distinct:
-            op = Distinct(op)
+            op = VecDistinct(op) if isinstance(op, VecOp) else Distinct(op)
         return CompiledPlan(op, box.output_columns())
 
     def _quant_info(self, quant: Quantifier) -> _QuantInfo:
@@ -277,12 +395,25 @@ class Planner:
                 )
                 if observed is not None:
                     est = max(float(observed), 0.5)
+        vec_scan = (
+            isinstance(op, SeqScan)
+            and not op.emit_rid
+            and self._vec_scan_ok(info.base_table)
+        )
         if remaining:
-            compiler = self.compiler(layout)
-            predicate = compiler.compile_predicate(
-                ast.conjoin(remaining)  # type: ignore[arg-type]
-            )
-            op = Filter(op, predicate, info.name)
+            conj = ast.conjoin(remaining)  # type: ignore[arg-type]
+            sel_fn = None
+            if vec_scan or isinstance(op, VecOp):
+                sel_fn = self.vec_compiler(layout).compile_filter(conj)
+            if sel_fn is not None:
+                source = VecSeqScan(info.base_table) if vec_scan else op
+                op = VecFilter(source, sel_fn, info.name)  # type: ignore[arg-type]
+            else:
+                compiler = self.compiler(layout)
+                predicate = compiler.compile_predicate(conj)
+                op = Filter(op, predicate, info.name)
+        elif vec_scan:
+            op = VecSeqScan(info.base_table)
         # Estimate annotations for EXPLAIN ANALYZE's estimate-vs-actual
         # feedback (SYS_STAT_ESTIMATES): which table/predicate this access
         # path's cardinality guess belongs to.
@@ -535,26 +666,47 @@ class Planner:
             right_compiler = self.compiler(right_layout)
             left_keys = [left_compiler.compile(lk) for lk, _ in equi]
             right_keys = [right_compiler.compile(rk) for _, rk in equi]
+            vec_keys = self._vec_join_keys(
+                equi, left, right_single, right_layout, residual_fn
+            )
+            per_row = _SEQ_ROW_COST * (
+                _VEC_ROW_DISCOUNT if vec_keys is not None else 1.0
+            )
             hash_cost = (
                 left.cost
                 + right_single.cost
-                + left.est_rows * _SEQ_ROW_COST
-                + right_single.est_rows * _SEQ_ROW_COST
+                + (left.est_rows + right_single.est_rows) * per_row
             )
-            candidates.append(
-                (
-                    hash_cost,
-                    lambda: HashJoin(
-                        left.op,
-                        right_single.op,
-                        left_keys,
-                        right_keys,
-                        residual_fn,
-                        "INNER",
-                        right_info.width,
-                    ),
+            if vec_keys is not None:
+                vec_left_keys, vec_right_keys = vec_keys
+                candidates.append(
+                    (
+                        hash_cost,
+                        lambda: VecHashJoin(
+                            as_batch_source(left.op, left.width),
+                            as_batch_source(right_single.op, right_info.width),
+                            vec_left_keys,
+                            vec_right_keys,
+                            "INNER",
+                            right_info.width,
+                        ),
+                    )
                 )
-            )
+            else:
+                candidates.append(
+                    (
+                        hash_cost,
+                        lambda: HashJoin(
+                            left.op,
+                            right_single.op,
+                            left_keys,
+                            right_keys,
+                            residual_fn,
+                            "INNER",
+                            right_info.width,
+                        ),
+                    )
+                )
             # Index nested loop: single-column equi key with an index.
             if right_table is not None and len(equi) >= 1:
                 first_rk = equi[0][1]
@@ -572,7 +724,11 @@ class Planner:
                             else None
                         )
                         probe_key = left_keys[0]
-                        inl_cost = left.cost + left.est_rows * _INDEX_PROBE_COST
+                        inl_cost = (
+                            left.cost
+                            + left.est_rows * _INDEX_PROBE_COST
+                            + est_rows * _FETCH_ROW_COST
+                        )
                         candidates.append(
                             (
                                 inl_cost,
@@ -615,6 +771,36 @@ class Planner:
         return _Partial(
             combined_names, join_op, new_layout, new_width, est_rows, cost, applied
         )
+
+    def _vec_join_keys(
+        self,
+        equi: List[Tuple[ast.Expr, ast.Expr]],
+        left: _Partial,
+        right_single: _Partial,
+        right_layout: Layout,
+        residual_fn,
+    ) -> Optional[Tuple[List[VecValueFn], List[VecValueFn]]]:
+        """Vector key closures for a hash join, or None to keep the row join.
+
+        A VecHashJoin is built only for pure equi-joins (no residual — its
+        per-left-row match bookkeeping does not columnarise cleanly) where
+        at least one input already produces batches and every key expression
+        vectorizes; otherwise the row HashJoin runs (it consumes either
+        input through ``rows()`` unchanged).
+        """
+        if not self._vec_active or residual_fn is not None:
+            return None
+        if not (isinstance(left.op, VecOp) or isinstance(right_single.op, VecOp)):
+            return None
+        left_vc = self.vec_compiler(left.layout)
+        right_vc = self.vec_compiler(right_layout)
+        left_keys = [left_vc.compile_value(lk) for lk, _ in equi]
+        right_keys = [right_vc.compile_value(rk) for _, rk in equi]
+        if any(fn is None for fn in left_keys) or any(
+            fn is None for fn in right_keys
+        ):
+            return None
+        return left_keys, right_keys  # type: ignore[return-value]
 
     def _equi_split(
         self, pred: ast.Expr, left_names: frozenset, right_name: str
@@ -701,15 +887,29 @@ class Planner:
                 if residual
                 else None
             )
-            op: PlanOp = HashJoin(
-                left.op,
-                right_single.op,
-                left_keys,
-                right_keys,
-                residual_fn,
-                "LEFT",
-                right_info.width,
+            vec_keys = self._vec_join_keys(
+                equi, left, right_single, right_layout, residual_fn
             )
+            op: PlanOp
+            if vec_keys is not None:
+                op = VecHashJoin(
+                    as_batch_source(left.op, left.width),
+                    as_batch_source(right_single.op, right_info.width),
+                    vec_keys[0],
+                    vec_keys[1],
+                    "LEFT",
+                    right_info.width,
+                )
+            else:
+                op = HashJoin(
+                    left.op,
+                    right_single.op,
+                    left_keys,
+                    right_keys,
+                    residual_fn,
+                    "LEFT",
+                    right_info.width,
+                )
         else:
             pred_fn = (
                 combined_compiler.compile_predicate(ast.conjoin(join_conds))
@@ -778,15 +978,53 @@ class Planner:
         final_compiler = self.compiler({}, precomputed)
         head_fns = [final_compiler.compile(col.expr) for col in box.head]
         having_fns = [final_compiler.compile_predicate(p) for p in box.having]
-        op = HashAggregate(
-            child.op,
-            key_fns,
-            agg_specs,
-            head_fns,
-            having_fns,
-            global_group=not box.group_keys,
-        )
+        op: Optional[PlanOp] = None
+        if isinstance(child.op, VecOp):
+            vec = self._vec_agg_inputs(child_layout, box.group_keys, agg_exprs)
+            if vec is not None:
+                op = VecHashAggregate(
+                    child.op,
+                    vec[0],
+                    vec[1],
+                    agg_specs,
+                    head_fns,
+                    having_fns,
+                    global_group=not box.group_keys,
+                )
+        if op is None:
+            op = HashAggregate(
+                child.op,
+                key_fns,
+                agg_specs,
+                head_fns,
+                having_fns,
+                global_group=not box.group_keys,
+            )
         return CompiledPlan(op, box.output_columns())
+
+    def _vec_agg_inputs(
+        self,
+        child_layout: Layout,
+        group_keys: Sequence[ast.Expr],
+        agg_exprs: Sequence[ast.FuncCall],
+    ) -> Optional[Tuple[List[VecValueFn], List[Optional[VecValueFn]]]]:
+        """Vector closures for grouping keys and aggregate arguments, or
+        None when any of them fails to vectorize (COUNT(*) yields a None
+        slot — the batch aggregate bumps its counter directly)."""
+        vec_compiler = self.vec_compiler(child_layout)
+        key_vfns = [vec_compiler.compile_value(key) for key in group_keys]
+        if any(vfn is None for vfn in key_vfns):
+            return None
+        arg_vfns: List[Optional[VecValueFn]] = []
+        for agg in agg_exprs:
+            if agg.star:
+                arg_vfns.append(None)
+                continue
+            vfn = vec_compiler.compile_value(agg.args[0])
+            if vfn is None:
+                return None
+            arg_vfns.append(vfn)
+        return key_vfns, arg_vfns  # type: ignore[return-value]
 
     # -- TOP (ORDER BY / LIMIT) -----------------------------------------------------
 
@@ -800,15 +1038,33 @@ class Planner:
             compiler = self.compiler(layout)
             key_fns = [compiler.compile(expr) for expr, _ in box.order_by]
             ascending = [asc for _, asc in box.order_by]
-            op = Sort(op, key_fns, ascending)
+            if isinstance(op, VecOp):
+                op = VecSort(op, key_fns, ascending)
+            else:
+                op = Sort(op, key_fns, ascending)
         if box.limit is not None or box.offset is not None:
-            op = Limit(op, box.limit, box.offset)
+            if isinstance(op, VecOp):
+                op = VecLimit(op, box.limit, box.offset)
+            else:
+                op = Limit(op, box.limit, box.offset)
         columns = child.columns
         if box.visible is not None and box.visible < len(columns):
             keep = list(range(box.visible))
-            op = Project(
-                op, [(lambda p: (lambda row, env: row[p]))(p) for p in keep], "trim"
-            )
+            if isinstance(op, VecOp):
+                op = VecProject(
+                    op,
+                    [
+                        (lambda p: (lambda cols, idx, env: gather(cols[p], idx)))(p)
+                        for p in keep
+                    ],
+                    "trim",
+                )
+            else:
+                op = Project(
+                    op,
+                    [(lambda p: (lambda row, env: row[p]))(p) for p in keep],
+                    "trim",
+                )
             columns = columns[: box.visible]
         return CompiledPlan(op, columns)
 

@@ -49,7 +49,10 @@ class Page:
     other rows never move.  ``used_bytes`` tracks the simulated fill level.
     """
 
-    __slots__ = ("page_id", "page_size", "slots", "used_bytes", "dirty", "page_lsn")
+    __slots__ = (
+        "page_id", "page_size", "slots", "used_bytes", "dirty", "page_lsn",
+        "free_hint",
+    )
 
     def __init__(self, page_id: int, page_size: int = DEFAULT_PAGE_SIZE):
         self.page_id = page_id
@@ -62,26 +65,40 @@ class Page:
         #: of crash recovery replays a record only when the page LSN is
         #: older, which makes replay idempotent (ARIES repeating history).
         self.page_lsn = 0
+        #: Upper bound on the number of tombstoned slots.  Purely a hint:
+        #: inserts skip the free-slot scan when it is zero (the append-only
+        #: common case, previously O(slots) per insert) and resync it when a
+        #: scan comes up empty — code that rebuilds ``slots`` directly
+        #: (recovery replay, fault injection) may leave it stale either way.
+        self.free_hint = 0
 
     def free_bytes(self) -> int:
         return self.page_size - self.used_bytes
 
-    def can_fit(self, row: Tuple[Any, ...]) -> bool:
-        return estimate_row_size(row) <= self.free_bytes()
+    def can_fit(self, row: Tuple[Any, ...], size: Optional[int] = None) -> bool:
+        if size is None:
+            size = estimate_row_size(row)
+        return size <= self.free_bytes()
 
-    def insert(self, table: str, row: Tuple[Any, ...]) -> int:
+    def insert(
+        self, table: str, row: Tuple[Any, ...], size: Optional[int] = None
+    ) -> int:
         """Insert a row, returning its slot number.
 
-        The caller must have checked :meth:`can_fit`; oversized rows are
-        still stored (a row larger than a page must live somewhere) but only
-        on an otherwise-empty page.
+        The caller must have checked :meth:`can_fit` (and may pass the row
+        size it already computed for that check); oversized rows are still
+        stored (a row larger than a page must live somewhere) but only on an
+        otherwise-empty page.
         """
-        self.used_bytes += estimate_row_size(row)
+        self.used_bytes += size if size is not None else estimate_row_size(row)
         self.dirty = True
-        for slot, content in enumerate(self.slots):
-            if content is None:
-                self.slots[slot] = (table, row)
-                return slot
+        if self.free_hint:
+            for slot, content in enumerate(self.slots):
+                if content is None:
+                    self.slots[slot] = (table, row)
+                    self.free_hint -= 1
+                    return slot
+            self.free_hint = 0
         self.slots.append((table, row))
         return len(self.slots) - 1
 
@@ -102,6 +119,14 @@ class Page:
             self.used_bytes -= estimate_row_size(content[1])
             self.slots[slot] = None
             self.dirty = True
+            self.free_hint += 1
+
+    def clear(self) -> None:
+        """Drop every slot at once (exclusive-owner truncate fast path)."""
+        self.slots.clear()
+        self.used_bytes = 0
+        self.free_hint = 0
+        self.dirty = True
 
     def copy(self) -> "Page":
         """Deep-enough copy used to simulate a disk read/write boundary."""
@@ -109,6 +134,7 @@ class Page:
         clone.slots = list(self.slots)
         clone.used_bytes = self.used_bytes
         clone.page_lsn = self.page_lsn
+        clone.free_hint = self.free_hint
         return clone
 
     def content_checksum(self) -> int:

@@ -123,6 +123,8 @@ def _spans_provider(db) -> Callable[[], Iterable[Tuple]]:
                 attrs.get("fingerprint"),
                 str(attrs["plan_cache"]) if "plan_cache" in attrs else None,
                 str(attrs["error"]) if "error" in attrs else None,
+                attrs.get("executor"),
+                attrs.get("batches"),
             ))
             for child in span.children:
                 emit(child, trace_id, span.span_id, depth + 1)
@@ -235,6 +237,8 @@ def build_sys_tables(db) -> List[VirtualTable]:
                 ("fingerprint", VARCHAR()),
                 ("plan_cache", VARCHAR()),
                 ("error", VARCHAR()),
+                ("executor", VARCHAR()),
+                ("batches", INTEGER),
             ),
             _spans_provider(db),
         ),

@@ -101,6 +101,5 @@ def materialize_node(
         for pos, col in enumerate(columns)
     ]
     table = db.catalog.create_table(name, column_defs)
-    for row in rows:
-        table.insert(row)
+    table.insert_many(rows)
     return table.name

@@ -83,9 +83,11 @@ def store_instance(
         table = db.catalog.create_table(table_name, column_defs)
         table.add_index(f"idx_{table_name}_rid", [RID_COLUMN], unique=True)
         rid_map: Dict[tuple, int] = {}
+        tagged: List[tuple] = []
         for rid, row in enumerate(rows, start=1):
-            table.insert((rid,) + row)
+            tagged.append((rid,) + row)
             rid_map[row] = rid
+        table.insert_many(tagged)
         table.analyze()
         rid_maps[node_name] = rid_map
         handle.node_tables[node_name] = table_name
@@ -110,10 +112,10 @@ def store_instance(
         table.add_index(f"idx_{table_name}_c", ["child_rid"])
         parent_map = rid_maps[edge.parent]
         child_map = rid_maps[edge.child]
-        for parent_row, child_rows, attrs in connections:
-            table.insert(
-                (parent_map[parent_row], child_map[child_rows[0]]) + attrs
-            )
+        table.insert_many([
+            (parent_map[parent_row], child_map[child_rows[0]]) + attrs
+            for parent_row, child_rows, attrs in connections
+        ])
         table.analyze()
         handle.edge_tables[edge_name] = table_name
         handle.edge_attribute_names[edge_name] = attr_names

@@ -458,8 +458,7 @@ class XNFCompiler:
             if same_layout:
                 try:
                     table.truncate()
-                    for row in rows:
-                        table.insert(row)
+                    table.insert_many(rows)
                     return table
                 except TypeCheckError:
                     pass  # column types drifted; rebuild below
@@ -480,8 +479,7 @@ class XNFCompiler:
             name = f"{name}_{next(_temp_ids)}"
             table = catalog.create_table(name, column_defs)
             self._fallback.add(name)
-        for row in rows:
-            table.insert(row)
+        table.insert_many(rows)
         self._attached[name] = table
         return table
 
