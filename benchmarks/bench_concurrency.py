@@ -1,0 +1,246 @@
+"""MVCC concurrency benchmarks: reader throughput, conflicts, vacuum (ISSUE 7).
+
+Three experiments, written to ``BENCH_concurrency.json``:
+
+* ``reader_throughput`` — snapshot readers scanning the company database
+  while 0 / 1 / 4 writer threads stream budget transfers.  Under MVCC
+  readers take no locks, so reader throughput should degrade gracefully
+  (GIL contention) rather than collapse behind writer locks; the ledger
+  records queries/sec per writer count plus writer conflict/retry totals.
+* ``mvcc_overhead`` — the same single-threaded workloads (E1 company CO
+  extraction via the row executor, and the vectorized OO1 frontier scan)
+  on databases differing only in ``mvcc=``.  The version store is empty
+  in both cases, so this measures the pure read-path tax of snapshot
+  resolution.  ``benchmarks/check_regression.py`` enforces
+  ``MVCC_OVERHEAD_BUDGET`` (default 0.10, i.e. MVCC-on may be at most 10%
+  slower than MVCC-off).
+* ``vacuum_lag`` — a writer churns versions while vacuum passes run;
+  records how many images accumulate between passes and that the final
+  pass drains the store (monotonic counters, bounded lag).
+"""
+
+import json
+import pathlib
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.workloads import company
+from repro.workloads.oo1 import build_parts_database, traverse_setwise_sql
+from repro.xnf.lang.parser import parse_xnf
+from repro.xnf.semantic_rewrite import XNFCompiler
+from repro.xnf.views import XNFViewCatalog, resolve
+
+LEDGER_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_concurrency.json"
+
+_RESULTS = {}
+
+#: reader-throughput experiment shape
+READER_SECONDS = 1.2
+READER_THREADS = 2
+WRITER_COUNTS = (0, 1, 4)
+
+#: single-thread overhead experiment
+OVERHEAD_REPEATS = 9
+TRAVERSAL_PARTS = 1500
+TRAVERSAL_DEPTH = 5
+
+#: vacuum experiment
+VACUUM_CHURN_TXNS = 120
+VACUUM_EVERY = 30
+
+
+def _interleaved_best(fn_off, fn_on, repeats):
+    """Best-of-N for both variants with alternating rounds.
+
+    Interleaving makes the comparison robust against machine-load drift:
+    a slow stretch penalises both variants alike instead of whichever one
+    happened to run during it.
+    """
+    fn_off()
+    fn_on()  # warm-up: plan cache, buffer pool
+    best_off = best_on = float("inf")
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        fn_off()
+        best_off = min(best_off, time.perf_counter() - begin)
+        begin = time.perf_counter()
+        fn_on()
+        best_on = min(best_on, time.perf_counter() - begin)
+    return best_off, best_on
+
+
+def test_reader_throughput_under_writers(benchmark):
+    """Snapshot readers never block: throughput vs. concurrent writers."""
+    results = {}
+    for writers in WRITER_COUNTS:
+        db = company.figure1_database(mvcc=True)
+        stop = threading.Event()
+        reads = [0] * READER_THREADS
+        writer_stats = {"commits": 0}
+
+        def reader(slot):
+            sess = db.connect()
+            while not stop.is_set():
+                total = sess.execute("SELECT SUM(budget) FROM DEPT").scalar()
+                assert total == 3500.0
+                reads[slot] += 1
+
+        def writer(wid):
+            sess = db.connect()
+            src, dst = 1 + (wid % 3), 1 + ((wid + 1) % 3)
+            while not stop.is_set():
+                def txn():
+                    sess.begin()
+                    sess.execute(
+                        f"UPDATE DEPT SET budget = budget + 1 WHERE dno = {src}"
+                    )
+                    sess.execute(
+                        f"UPDATE DEPT SET budget = budget - 1 WHERE dno = {dst}"
+                    )
+                    sess.commit()
+
+                sess.run_retryable(
+                    txn, retries=200, backoff_s=0.0002, max_backoff_s=0.005
+                )
+                writer_stats["commits"] += 1
+
+        threads = [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(READER_THREADS)
+        ] + [threading.Thread(target=writer, args=(wid,)) for wid in range(writers)]
+        for thread in threads:
+            thread.start()
+        time.sleep(READER_SECONDS)
+        stop.set()
+        for thread in threads:
+            thread.join(60)
+            assert not thread.is_alive()
+
+        snapshot = db.metrics_snapshot()
+        mvcc_stats = snapshot.get("mvcc", {})
+        results[str(writers)] = {
+            "reader_qps": round(sum(reads) / READER_SECONDS, 1),
+            "writer_commits": writer_stats["commits"],
+            "serialization_conflicts": mvcc_stats.get(
+                "serialization_conflicts", 0
+            ),
+            "retries": snapshot.get("txn", {}).get("retries", 0),
+        }
+        report(
+            "mvcc concurrency",
+            f"readers vs {writers} writer(s): "
+            f"{results[str(writers)]['reader_qps']:8.1f} q/s, "
+            f"{writer_stats['commits']} commits, "
+            f"{results[str(writers)]['retries']} retries",
+        )
+    # snapshot readers must keep making progress under write load
+    assert results["4"]["reader_qps"] > 0
+    _RESULTS["reader_throughput"] = results
+    db = company.figure1_database(mvcc=True)
+    sess = db.connect()
+    benchmark(lambda: sess.execute("SELECT SUM(budget) FROM DEPT").scalar())
+
+
+def test_mvcc_read_overhead(benchmark):
+    """MVCC-on vs MVCC-off on identical single-threaded workloads."""
+    overhead = {}
+
+    # E1: company CO extraction through the row executor
+    dbs = {m: company.figure1_database(mvcc=m, executor="row") for m in (False, True)}
+    schema = resolve(parse_xnf(company.FIGURE1_CO), XNFViewCatalog())
+    off_s, on_s = _interleaved_best(
+        lambda: XNFCompiler(dbs[False]).instantiate(schema),
+        lambda: XNFCompiler(dbs[True]).instantiate(schema),
+        OVERHEAD_REPEATS,
+    )
+    overhead["e1_extraction_row"] = {
+        "off_s": round(off_s, 6),
+        "on_s": round(on_s, 6),
+        "overhead": round(on_s / off_s - 1.0, 4),
+    }
+
+    # OO1 frontier traversal through the vectorized executor
+    dbs = {
+        m: build_parts_database(TRAVERSAL_PARTS, mvcc=m, executor="batch")
+        for m in (False, True)
+    }
+    off_s, on_s = _interleaved_best(
+        lambda: traverse_setwise_sql(dbs[False], 17, TRAVERSAL_DEPTH),
+        lambda: traverse_setwise_sql(dbs[True], 17, TRAVERSAL_DEPTH),
+        OVERHEAD_REPEATS,
+    )
+    overhead["oo1_traversal_batch"] = {
+        "off_s": round(off_s, 6),
+        "on_s": round(on_s, 6),
+        "overhead": round(on_s / off_s - 1.0, 4),
+    }
+
+    for name, stats in overhead.items():
+        report(
+            "mvcc concurrency",
+            f"{name}: off {stats['off_s'] * 1e3:7.1f} ms | "
+            f"on {stats['on_s'] * 1e3:7.1f} ms | "
+            f"overhead {stats['overhead']:+.1%}",
+        )
+    _RESULTS["mvcc_overhead"] = overhead
+    db = company.figure1_database(mvcc=True, executor="row")
+    schema = resolve(parse_xnf(company.FIGURE1_CO), XNFViewCatalog())
+    benchmark(lambda: XNFCompiler(db).instantiate(schema))
+
+
+def test_vacuum_lag(benchmark):
+    """Version churn vs. vacuum: lag stays bounded, counters monotonic."""
+    db = company.figure1_database(mvcc=True)
+    db.mvcc.autovacuum_threshold = 0  # manual vacuum only for this experiment
+    sess = db.connect()
+    lags = []
+    pruned_series = []
+    for i in range(VACUUM_CHURN_TXNS):
+        sess.begin()
+        sess.execute(
+            f"UPDATE DEPT SET budget = budget + {1 if i % 2 == 0 else -1} "
+            f"WHERE dno = {1 + i % 3}"
+        )
+        sess.commit()
+        if (i + 1) % VACUUM_EVERY == 0:
+            before = db.mvcc.store.metrics()
+            lags.append(before["version_images"])
+            db.vacuum()
+            after = db.mvcc.store.metrics()
+            assert after["versions_pruned"] >= before["versions_pruned"]
+            pruned_series.append(after["versions_pruned"])
+    final = db.vacuum()
+    stats = db.mvcc.store.metrics()
+    # no snapshots open: everything reclaimable must be gone
+    assert stats["version_images"] == 0
+    assert pruned_series == sorted(pruned_series)
+    _RESULTS["vacuum_lag"] = {
+        "churn_txns": VACUUM_CHURN_TXNS,
+        "vacuum_every": VACUUM_EVERY,
+        "max_image_lag": max(lags),
+        "versions_pruned": stats["versions_pruned"],
+        "entries_dropped": stats["entries_dropped"],
+        "final_horizon": final["horizon"],
+    }
+    report(
+        "mvcc concurrency",
+        f"vacuum lag: max {max(lags)} images between passes, "
+        f"{stats['versions_pruned']} pruned total",
+    )
+    benchmark(db.vacuum)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def concurrency_ledger():
+    yield
+    if _RESULTS:
+        payload = dict(_RESULTS)
+        overhead = payload.get("mvcc_overhead", {})
+        if overhead:
+            payload["max_overhead"] = max(
+                stats["overhead"] for stats in overhead.values()
+            )
+        LEDGER_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -35,6 +35,16 @@ And the vectorized-executor ledger (``BENCH_vectorized.json``, written by
   ``VEC_SPEEDUP_FLOOR`` (default 3.0) times faster than the row executor;
 * a missing vectorized ledger fails the gate.
 
+And the MVCC concurrency ledger (``BENCH_concurrency.json``, written by
+``bench_concurrency.py``):
+
+* **MVCC read overhead** — every measured workload must show snapshot
+  resolution costing at most ``MVCC_OVERHEAD_BUDGET`` (default 0.10,
+  i.e. MVCC-on at most 10% slower than MVCC-off);
+* **reader progress** — snapshot readers must keep a positive query rate
+  with the maximum writer count attached (readers never block on locks);
+* a missing concurrency ledger fails the gate.
+
 ``--update`` regenerates the baseline from the fresh ledger (run the
 benchmark smoke first, then commit the result).
 
@@ -52,6 +62,7 @@ HERE = pathlib.Path(__file__).resolve().parent
 LEDGER_PATH = HERE.parent / "BENCH_plan_cache.json"
 OBSERVABILITY_LEDGER_PATH = HERE.parent / "BENCH_observability.json"
 VECTORIZED_LEDGER_PATH = HERE.parent / "BENCH_vectorized.json"
+CONCURRENCY_LEDGER_PATH = HERE.parent / "BENCH_concurrency.json"
 BASELINE_PATH = HERE / "baseline.json"
 
 TOLERANCE = float(os.environ.get("PERF_TOLERANCE", "0.30"))
@@ -62,10 +73,14 @@ TRACING_OVERHEAD_BUDGET = float(
 )
 SYS_SCAN_BUDGET_MS = float(os.environ.get("SYS_SCAN_BUDGET_MS", "50.0"))
 VEC_SPEEDUP_FLOOR = float(os.environ.get("VEC_SPEEDUP_FLOOR", "3.0"))
+MVCC_OVERHEAD_BUDGET = float(os.environ.get("MVCC_OVERHEAD_BUDGET", "0.10"))
 
 #: Workloads the vectorized ledger must contain — a silently-dropped
 #: workload would otherwise pass the floor vacuously.
 VEC_REQUIRED_WORKLOADS = ("oo1_setwise_traversal", "xnf_semantic_rewrite")
+
+#: Workloads the concurrency ledger must contain, same rationale.
+MVCC_REQUIRED_WORKLOADS = ("e1_extraction_row", "oo1_traversal_batch")
 
 
 def load(path: pathlib.Path) -> dict:
@@ -224,6 +239,54 @@ def check_vectorized(ledger: dict) -> int:
     return 0
 
 
+def check_concurrency(ledger: dict) -> int:
+    """Gate the MVCC concurrency ledger (read overhead, reader progress)."""
+    failures = []
+    overhead = ledger.get("mvcc_overhead", {})
+    for name in MVCC_REQUIRED_WORKLOADS:
+        if name not in overhead:
+            failures.append(f"concurrency: workload {name} missing from ledger")
+    for name, stats in sorted(overhead.items()):
+        ratio = stats.get("overhead")
+        if ratio is None:
+            failures.append(f"concurrency: workload {name} lacks an overhead")
+            continue
+        verdict = "FAIL" if ratio > MVCC_OVERHEAD_BUDGET else "ok"
+        print(
+            f"concurrency: {name} mvcc overhead {ratio:+.2%} "
+            f"(off {stats.get('off_s', float('nan')) * 1e3:.2f} ms, "
+            f"on {stats.get('on_s', float('nan')) * 1e3:.2f} ms; "
+            f"budget {MVCC_OVERHEAD_BUDGET:.0%}) {verdict}"
+        )
+        if ratio > MVCC_OVERHEAD_BUDGET:
+            failures.append(
+                f"concurrency: {name} mvcc overhead {ratio:+.2%} exceeds "
+                f"the {MVCC_OVERHEAD_BUDGET:.0%} budget"
+            )
+    throughput = ledger.get("reader_throughput", {})
+    if not throughput:
+        failures.append("concurrency: ledger lacks reader_throughput")
+    else:
+        busiest = max(throughput, key=int)
+        qps = throughput[busiest].get("reader_qps", 0)
+        verdict = "FAIL" if qps <= 0 else "ok"
+        print(
+            f"concurrency: reader throughput {qps:.0f} q/s with "
+            f"{busiest} writer(s) {verdict}"
+        )
+        if qps <= 0:
+            failures.append(
+                f"concurrency: readers starved with {busiest} writer(s)"
+            )
+    if failures:
+        print("\nconcurrency gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("concurrency gate passed")
+    return 0
+
+
 def main(argv) -> int:
     ledger = load(LEDGER_PATH)
     if "--update" in argv:
@@ -232,7 +295,8 @@ def main(argv) -> int:
     status = check(ledger, load(BASELINE_PATH))
     obs_status = check_observability(load(OBSERVABILITY_LEDGER_PATH))
     vec_status = check_vectorized(load(VECTORIZED_LEDGER_PATH))
-    return status or obs_status or vec_status
+    conc_status = check_concurrency(load(CONCURRENCY_LEDGER_PATH))
+    return status or obs_status or vec_status or conc_status
 
 
 if __name__ == "__main__":

@@ -10,7 +10,18 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    ``retryable`` is the contract of the error taxonomy: when True, the
+    failed operation may succeed if simply re-run (after rolling back any
+    open transaction and backing off) — the condition is a transient
+    artifact of concurrency or I/O, not of the statement itself.
+    :meth:`Database.run_retryable` automates exactly this loop.
+    """
+
+    #: True when re-running the failed operation may succeed (deadlock
+    #: victims, serialization conflicts, admission rejects, transient I/O)
+    retryable = False
 
 
 class SQLError(ReproError):
@@ -52,7 +63,34 @@ class TransactionError(SQLError):
 
 
 class DeadlockError(TransactionError):
-    """Lock request aborted to break a deadlock."""
+    """Lock request aborted to break a deadlock.
+
+    The engine uses no-wait table locks, so the victim loses no work
+    beyond its own statement; re-running the transaction usually succeeds.
+    """
+
+    retryable = True
+
+
+class SerializationError(TransactionError):
+    """First-committer-wins write-write conflict under snapshot isolation.
+
+    Raised when a transaction tries to modify a row version that was
+    committed after the transaction's snapshot was taken.  Roll back and
+    re-run on a fresh snapshot (see :meth:`Database.run_retryable`).
+    """
+
+    retryable = True
+
+
+class AdmissionError(TransactionError):
+    """Admission control rejected a new transaction.
+
+    The configured ``max_concurrent_txns`` ceiling was reached; retry
+    after backing off instead of queueing into a livelock.
+    """
+
+    retryable = True
 
 
 class StorageError(SQLError):
@@ -89,6 +127,8 @@ class IOFaultError(StorageError):
 
     def __init__(self, message: str, transient: bool = True):
         self.transient = transient
+        # instance-level override: only transient faults are retryable
+        self.retryable = transient
         super().__init__(message)
 
 

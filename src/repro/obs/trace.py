@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
@@ -173,13 +174,25 @@ class Tracer:
     def __init__(self, enabled: bool = True, history: int = 16):
         self.enabled = enabled
         self.history = history
-        self._stack: List[Span] = []
+        # Each thread gets its own span stack so concurrent sessions build
+        # independent trees instead of parenting into each other's spans.
+        # last_trace/recent stay shared (guarded by _history_mutex).
+        self._local = threading.local()
+        self._history_mutex = threading.Lock()
         self.last_trace: Optional[Span] = None
         self.recent: List[Span] = []
         #: optional sink with an ``export(span)`` method, called once per
         #: completed *root* span (e.g. :class:`repro.obs.JsonlTraceExporter`)
         self.exporter: Optional[Any] = None
         self.export_failures = 0
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     def span(self, name: str, **attrs: Any) -> Span:
         """Open a child span of whatever span is currently on the stack.
@@ -213,16 +226,18 @@ class Tracer:
         span.finish()
         # Tolerate a stack disturbed by an exception unwinding several
         # spans at once: pop down to (and including) the span being closed.
-        while self._stack:
-            top = self._stack.pop()
+        stack = self._stack
+        while stack:
+            top = stack.pop()
             top.finish()
             if top is span:
                 break
-        if not self._stack:
-            self.last_trace = span
-            self.recent.append(span)
-            if len(self.recent) > self.history:
-                del self.recent[: len(self.recent) - self.history]
+        if not stack:
+            with self._history_mutex:
+                self.last_trace = span
+                self.recent.append(span)
+                if len(self.recent) > self.history:
+                    del self.recent[: len(self.recent) - self.history]
             if self.exporter is not None:
                 # An exporter IO error must not fail the traced statement.
                 try:

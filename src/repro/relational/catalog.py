@@ -13,7 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import CatalogError, IntegrityError
+import threading
+
+from repro.errors import CatalogError, ExecutionError, IntegrityError, PageNotFoundError
 from repro.relational.indexes import BTreeIndex, HashIndex, Index
 from repro.relational.storage import BufferPool, HeapFile, RID
 from repro.relational.types import SQLType, sort_key
@@ -350,12 +352,114 @@ class Table:
             pool.unpin(rid.page_id, dirty=True)
 
     # -- read path ---------------------------------------------------------------
+    #
+    # When the owning catalog runs in MVCC mode (``catalog.mvcc`` holds the
+    # database's MVCCController) and the calling thread has an ambient
+    # snapshot, reads resolve rows against the version store page by page:
+    # copy the page's slots first, *then* consult the store.  Writers create
+    # their version entry before touching the heap, so a table that checks
+    # clean after the copy proves the copied rows are unmodified baseline
+    # images — those pages skip RID construction and per-row resolution
+    # entirely and are only remembered at page granularity for the final
+    # candidates pass.  A scan-start-only cleanliness check would be
+    # unsound (a writer may start versioning the table mid-scan), which is
+    # why the verdict is re-taken per page, always after the slot copy.
+
+    def _mvcc_read_state(self):
+        """``(store, snapshot)`` when snapshot resolution applies to this
+        table right now, else None (use the plain heap path)."""
+        catalog = self._catalog
+        mv = catalog.mvcc if catalog is not None else None
+        if mv is None:
+            return None
+        snap = mv.current_snapshot()
+        if snap is None:
+            return None
+        return mv.store, snap
 
     def scan(self) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
-        return self.heap.scan()
+        state = self._mvcc_read_state()
+        if state is None:
+            return self.heap.scan()
+        return self._scan_mvcc(*state)
+
+    def _scan_mvcc(self, store, snap) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
+        name = self.name
+        # Bound lock-free clean check (see VersionStore.dirty for why no
+        # lock is needed); bound once because small-table scans are hot.
+        entries_of = store._tables.get
+        seen: set = set()
+        seen_pages: set = set()
+        for page_id in self.heap.page_ids():
+            pairs = self.heap.scan_page_pairs(page_id)
+            # The check must follow the page read: entry creation precedes
+            # heap mutation, so a clean verdict proves the rows just read
+            # are baseline images.
+            if not entries_of(name):
+                seen_pages.add(page_id)
+                yield from pairs
+                continue
+            seen.update(rid for rid, _ in pairs)
+            yield from store.resolve_batch(name, pairs, snap)
+        # rows absent from the heap (committed or pending deletes) whose
+        # images are still visible to this snapshot
+        if entries_of(name):
+            yield from store.candidates(name, snap, seen, seen_pages)
+
+    def scan_row_chunks(self) -> Iterator[List[Tuple[Any, ...]]]:
+        """Row chunks for the vectorized scan (page-at-a-time on the fast
+        path, snapshot-resolved batches under MVCC)."""
+        state = self._mvcc_read_state()
+        if state is None:
+            return self.heap.scan_row_chunks()
+        return self._scan_chunks_mvcc(*state)
+
+    def _scan_chunks_mvcc(self, store, snap) -> Iterator[List[Tuple[Any, ...]]]:
+        name = self.name
+        entries_of = store._tables.get  # lock-free, see VersionStore.dirty
+        seen: set = set()
+        seen_pages: set = set()
+        for page_id, rows in self.heap.scan_page_rows():
+            # Check after the page read, as in _scan_mvcc.  Clean page:
+            # the rows pass through untouched — the same shape (and cost)
+            # as the non-MVCC heap chunk scan.
+            if not entries_of(name):
+                seen_pages.add(page_id)
+                if rows:
+                    yield rows
+                continue
+            # Dirty: re-read the page with RIDs and resolve.  The re-read
+            # is the authoritative one — resolution is sound against
+            # whatever heap state it observes.
+            pairs = self.heap.scan_page_pairs(page_id)
+            seen.update(rid for rid, _ in pairs)
+            rows = [image for _rid, image in store.resolve_batch(name, pairs, snap)]
+            if rows:
+                yield rows
+        if entries_of(name):
+            extra = [
+                image for _rid, image in store.candidates(name, snap, seen, seen_pages)
+            ]
+            if extra:
+                yield extra
 
     def fetch(self, rid: RID) -> Tuple[Any, ...]:
         return self.heap.fetch_row(rid)
+
+    def fetch_visible(self, rid: RID) -> Optional[Tuple[Any, ...]]:
+        """MVCC-aware point fetch: the row image visible to the ambient
+        snapshot, or None when the row is invisible to it.  Index scans use
+        this so probes never observe uncommitted or too-new versions."""
+        state = self._mvcc_read_state()
+        if state is None:
+            return self.heap.fetch_row(rid)
+        store, snap = state
+        try:
+            heap_row = self.heap.fetch_row(rid)
+        except (ExecutionError, PageNotFoundError):
+            # gone from the heap; an older committed image may still apply
+            heap_row = None
+        return store.resolve(self.name, rid, heap_row, snap)
 
     def truncate(self) -> None:
         """Drop all rows but keep the schema and index definitions.
@@ -561,11 +665,19 @@ class Catalog:
         #: Table object and must not survive).
         self._object_versions: Dict[str, int] = {}
         self._version_clock = 0
+        #: the owning Database's MVCCController when MVCC mode is enabled;
+        #: Table read paths consult it (duck-typed — the catalog never
+        #: imports the txn layer)
+        self.mvcc: Optional[Any] = None
+        # serializes name-space and version mutations across session
+        # threads; lookups stay lock-free (single dict reads are atomic)
+        self._mutex = threading.RLock()
 
     def bump_version(self, name: str) -> None:
         """Record a schema/stats change to *name* (table or view)."""
-        self._version_clock += 1
-        self._object_versions[name.upper()] = self._version_clock
+        with self._mutex:
+            self._version_clock += 1
+            self._object_versions[name.upper()] = self._version_clock
 
     def object_version(self, name: str) -> int:
         return self._object_versions.get(name.upper(), 0)
@@ -577,37 +689,40 @@ class Catalog:
         plans over them stay valid forever (the *scan* re-pulls live data),
         except after an explicit ANALYZE which recompiles on purpose.
         """
-        key = table.name.upper()
-        if key in self.tables or key in self.views:
-            raise CatalogError(f"table or view {table.name} already exists")
-        table._catalog = self
-        self.virtual_tables[key] = table
-        return table
+        with self._mutex:
+            key = table.name.upper()
+            if key in self.tables or key in self.views:
+                raise CatalogError(f"table or view {table.name} already exists")
+            table._catalog = self
+            self.virtual_tables[key] = table
+            return table
 
     def is_virtual(self, name: str) -> bool:
         return name.upper() in self.virtual_tables
 
     def create_table(self, name: str, columns: Sequence[Column]) -> Table:
-        key = name.upper()
-        if key in self.tables or key in self.views or key in self.virtual_tables:
-            raise CatalogError(f"table or view {name} already exists")
-        table = Table(key, columns, self.buffer_pool)
-        table._catalog = self
-        self.tables[key] = table
-        self.bump_version(key)
-        return table
+        with self._mutex:
+            key = name.upper()
+            if key in self.tables or key in self.views or key in self.virtual_tables:
+                raise CatalogError(f"table or view {name} already exists")
+            table = Table(key, columns, self.buffer_pool)
+            table._catalog = self
+            self.tables[key] = table
+            self.bump_version(key)
+            return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
-        key = name.upper()
-        if key in self.virtual_tables:
-            raise CatalogError(f"{key} is a system table and cannot be dropped")
-        table = self.tables.pop(key, None)
-        if table is None:
-            if if_exists:
-                return
-            raise CatalogError(f"no table named {name}")
-        table.heap.truncate()
-        self.bump_version(key)
+        with self._mutex:
+            key = name.upper()
+            if key in self.virtual_tables:
+                raise CatalogError(f"{key} is a system table and cannot be dropped")
+            table = self.tables.pop(key, None)
+            if table is None:
+                if if_exists:
+                    return
+                raise CatalogError(f"no table named {name}")
+            table.heap.truncate()
+            self.bump_version(key)
 
     def detach_scratch(self, name: str) -> Optional[Table]:
         """Remove a scratch table from the name space *without* a version
@@ -618,15 +733,17 @@ class Catalog:
         catalog looks clean in between (temp tables are invisible once an
         extraction finishes).
         """
-        return self.tables.pop(name.upper(), None)
+        with self._mutex:
+            return self.tables.pop(name.upper(), None)
 
     def attach_scratch(self, table: Table) -> None:
         """Re-insert a previously detached scratch table, no version bump."""
-        key = table.name.upper()
-        if key in self.tables or key in self.views or key in self.virtual_tables:
-            raise CatalogError(f"table or view {table.name} already exists")
-        table._catalog = self
-        self.tables[key] = table
+        with self._mutex:
+            key = table.name.upper()
+            if key in self.tables or key in self.views or key in self.virtual_tables:
+                raise CatalogError(f"table or view {table.name} already exists")
+            table._catalog = self
+            self.tables[key] = table
 
     def get_table(self, name: str) -> Table:
         key = name.upper()
@@ -642,22 +759,24 @@ class Catalog:
         return key in self.tables or key in self.virtual_tables
 
     def create_view(self, name: str, sql_text: str, body: Any) -> ViewDefinition:
-        key = name.upper()
-        if key in self.tables or key in self.views or key in self.virtual_tables:
-            raise CatalogError(f"table or view {name} already exists")
-        view = ViewDefinition(key, sql_text, body)
-        self.views[key] = view
-        self.bump_version(key)
-        return view
+        with self._mutex:
+            key = name.upper()
+            if key in self.tables or key in self.views or key in self.virtual_tables:
+                raise CatalogError(f"table or view {name} already exists")
+            view = ViewDefinition(key, sql_text, body)
+            self.views[key] = view
+            self.bump_version(key)
+            return view
 
     def drop_view(self, name: str, if_exists: bool = False) -> None:
-        key = name.upper()
-        if key not in self.views:
-            if if_exists:
-                return
-            raise CatalogError(f"no view named {name}")
-        del self.views[key]
-        self.bump_version(key)
+        with self._mutex:
+            key = name.upper()
+            if key not in self.views:
+                if if_exists:
+                    return
+                raise CatalogError(f"no view named {name}")
+            del self.views[key]
+            self.bump_version(key)
 
     def get_view(self, name: str) -> Optional[ViewDefinition]:
         return self.views.get(name.upper())

@@ -12,15 +12,19 @@ manager.  Per-stage wall-clock timings of the last statement are kept in
 
 from __future__ import annotations
 
+import contextlib
 import os
+import random
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     CatalogError,
     ExecutionError,
     IOFaultError,
+    ReproError,
     ResourceExhaustedError,
     SQLError,
     SimulatedCrash,
@@ -58,6 +62,7 @@ from repro.relational.txn.manager import (
     Transaction,
     TransactionManager,
 )
+from repro.relational.txn.mvcc import MVCCController, set_ambient_snapshot
 from repro.relational.txn.wal import WriteAheadLog
 from repro.relational.types import type_from_name
 
@@ -116,11 +121,14 @@ class Result:
 class Session:
     """A connection with its own transaction state over a shared Database.
 
-    Sessions are cooperative and single-threaded (statements interleave but
-    never run concurrently), which is exactly the setting where the no-wait
-    lock manager surfaces conflicts as immediate :class:`DeadlockError`\\ s.
-    Used to demonstrate the isolation degrees of section 1 across
-    "applications" sharing the database (Fig. 7).
+    Sessions may interleave cooperatively on one thread — the setting where
+    the no-wait lock manager surfaces conflicts as immediate
+    :class:`DeadlockError`\\ s — or run one-session-per-thread against a
+    shared Database (the Database's transaction pointer is thread-local).
+    Under MVCC mode reads never block on writers; see the README cookbook
+    for the multi-threaded pattern.  Used to demonstrate the isolation
+    degrees of section 1 across "applications" sharing the database
+    (Fig. 7).
     """
 
     def __init__(self, db: "Database", isolation: Optional[IsolationLevel] = None):
@@ -151,6 +159,27 @@ class Session:
     @property
     def in_transaction(self) -> bool:
         return self._txn is not None and self._txn.active
+
+    def run_retryable(self, fn, **kwargs) -> Any:
+        """Session-scoped :meth:`Database.run_retryable`: retries run under
+        this session's transaction state (one session per thread is the
+        supported multi-threaded pattern)."""
+        # The database-level retry loop cannot see this session's open
+        # transaction (each Session call swaps it in and out of the
+        # thread-local pointer), so roll it back here before a retry —
+        # every attempt must start on a fresh snapshot.
+        def attempt():
+            try:
+                return fn()
+            except ReproError as err:
+                if getattr(err, "retryable", False) and self.in_transaction:
+                    try:
+                        self.rollback()
+                    except ReproError:
+                        pass
+                raise
+
+        return self.db.run_retryable(attempt, **kwargs)
 
     def _activate(self):
         session = self
@@ -189,6 +218,8 @@ class Database:
         statement_stats: bool = True,
         optimizer_feedback: bool = False,
         executor: Optional[str] = None,
+        mvcc: Optional[bool] = None,
+        max_concurrent_txns: Optional[int] = None,
     ):
         # An existing disk/WAL pair may be passed in: that is how a crashed
         # instance is reopened over its surviving stable storage (see
@@ -197,7 +228,18 @@ class Database:
         self.buffer_pool = BufferPool(self.disk, buffer_capacity)
         self.catalog = Catalog(self.buffer_pool)
         self.builder = QGMBuilder(self.catalog)
-        self.txn_manager = TransactionManager(wal=wal)
+        self.txn_manager = TransactionManager(
+            wal=wal, max_concurrent_txns=max_concurrent_txns
+        )
+        #: MVCC snapshot isolation: explicit ``mvcc=`` argument, then the
+        #: REPRO_MVCC environment variable, default off.  When on, reads are
+        #: served from snapshots (no S locks, writers never block readers)
+        #: and write-write conflicts raise the retryable SerializationError.
+        if mvcc is None:
+            mvcc = os.environ.get("REPRO_MVCC", "") not in ("", "0", "false")
+        self.mvcc: Optional[MVCCController] = MVCCController() if mvcc else None
+        self.catalog.mvcc = self.mvcc
+        self.txn_manager.mvcc = self.mvcc
         self.buffer_pool.pre_write_hook = self._wal_ahead_of
         self.statement_timeout_s = statement_timeout_s
         self.io_retries = io_retries
@@ -214,8 +256,13 @@ class Database:
                 f"unknown executor mode {mode!r} (expected row, auto or batch)"
             )
         self.executor_mode = mode
-        self.isolation = IsolationLevel.REPEATABLE_READ
-        self._txn: Optional[Transaction] = None
+        # Per-thread session state: the current transaction, the session
+        # default isolation, and the last statement's fingerprint/cache-hit
+        # flags all live in a thread-local, so one Database instance can be
+        # shared by concurrent session threads (each thread runs its own
+        # statements against its own transaction).
+        self._tls = threading.local()
+        self._default_isolation = IsolationLevel.REPEATABLE_READ
         self.last_timings: Dict[str, float] = {}
         self.statements_executed = 0
         self.plan_cache = PlanCache(plan_cache_capacity)
@@ -245,7 +292,44 @@ class Database:
         #: XNF layer between extractions; re-attaching skips version bumps
         #: so plans compiled against them stay cached.
         self.scratch_tables: Dict[str, Table] = {}
+        #: serializes XNF CO extractions (their scratch worktables have
+        #: stable names); see XNFCompiler.instantiate
+        self.xnf_mutex = threading.RLock()
         install_sys_tables(self)
+
+    # -- per-thread session state --------------------------------------------
+
+    @property
+    def _txn(self) -> Optional[Transaction]:
+        return getattr(self._tls, "txn", None)
+
+    @_txn.setter
+    def _txn(self, value: Optional[Transaction]) -> None:
+        self._tls.txn = value
+
+    @property
+    def isolation(self) -> IsolationLevel:
+        return getattr(self._tls, "isolation", None) or self._default_isolation
+
+    @isolation.setter
+    def isolation(self, value: Optional[IsolationLevel]) -> None:
+        self._tls.isolation = value
+
+    @property
+    def _last_fingerprint(self) -> Optional[str]:
+        return getattr(self._tls, "fingerprint", None)
+
+    @_last_fingerprint.setter
+    def _last_fingerprint(self, value: Optional[str]) -> None:
+        self._tls.fingerprint = value
+
+    @property
+    def _last_cache_hit(self) -> bool:
+        return getattr(self._tls, "cache_hit", False)
+
+    @_last_cache_hit.setter
+    def _last_cache_hit(self, value: bool) -> None:
+        self._tls.cache_hit = value
 
     # -- public API ----------------------------------------------------------
 
@@ -440,7 +524,7 @@ class Database:
         op_stats = instrument_plan(plan.op)
         start = time.perf_counter()
         with self.tracer.span("execute") as span:
-            rows = self._collect_rows(plan)
+            rows = self._execute_plan(plan, None)
             span.annotate(rows=len(rows), executor=self.executor_mode)
             batches = sum(stat.batches for stat in op_stats.values())
             if batches:
@@ -612,16 +696,25 @@ class Database:
         for table in self._tables_of(query):
             self._lock(table, LockMode.SHARED)
         op_stats = None
+        values: Optional[List[Any]] = None
         if self.analyze_statements:
             # Analyze mode (XNF explain_analyze): bypass the cache so the
             # instrumented operators stay private to this execution.
             plan = self._analyze_compile(query)
             op_stats = instrument_plan(plan.op)
+        elif self.plan_cache.capacity > 0:
+            normalized = normalize_statement(query)
+            if normalized.n_explicit:
+                raise SQLError(
+                    "query contains ? parameters; use Database.prepare()"
+                )
+            plan = self._cached_plan(normalized)
+            values = list(normalized.lifted_values)
         else:
-            plan = self.compile_query(query)
+            plan = self._compile_statement(query)
         start = time.perf_counter()
         with self.tracer.span("execute") as span:
-            rows = self._collect_rows(plan)
+            rows = self._execute_plan(plan, values)
             span.annotate(rows=len(rows), executor=self.executor_mode)
             if op_stats is not None:
                 batches = sum(stat.batches for stat in op_stats.values())
@@ -641,14 +734,51 @@ class Database:
         for table in self._tables_of(normalized.statement):
             self._lock(table, LockMode.SHARED)
         plan = self._cached_plan(normalized)
-        plan.context.params[:] = values + list(normalized.lifted_values)
         start = time.perf_counter()
         with self.tracer.span("execute") as span:
-            rows = self._collect_rows(plan)
+            rows = self._execute_plan(
+                plan, values + list(normalized.lifted_values)
+            )
             span.annotate(rows=len(rows), executor=self.executor_mode)
         self.last_timings["execute"] = time.perf_counter() - start
         self._end_of_statement()
         return Result(plan.columns, rows, len(rows))
+
+    @contextlib.contextmanager
+    def _snapshot_scope(self):
+        """Install this statement's MVCC snapshot as the thread's ambient
+        snapshot: the open transaction's, or a fresh ephemeral one for an
+        autocommit read.  No-op when MVCC mode is off."""
+        mv = self.mvcc
+        if mv is None:
+            yield None
+            return
+        txn = self._txn
+        if txn is not None and txn.active and txn.snapshot is not None:
+            snap, ephemeral = txn.snapshot, False
+        else:
+            snap, ephemeral = mv.snapshots.begin(), True
+        prev = set_ambient_snapshot(snap)
+        try:
+            yield snap
+        finally:
+            set_ambient_snapshot(prev)
+            if ephemeral:
+                mv.release(snap)
+
+    def _execute_plan(
+        self, plan: CompiledPlan, values: Optional[List[Any]]
+    ) -> List[Tuple[Any, ...]]:
+        """Bind parameters (when *values* is given — cached, shared plans)
+        and collect rows under the plan's bind lock and this thread's
+        snapshot.  Holding the bind lock across bind + execution keeps two
+        threads from re-binding one shared compiled plan mid-run."""
+        with self._snapshot_scope():
+            if values is None:
+                return self._collect_rows(plan)
+            with plan.bind_lock:
+                plan.context.params[:] = values
+                return self._collect_rows(plan)
 
     def _collect_rows(self, plan: CompiledPlan) -> List[Tuple[Any, ...]]:
         """Materialize a plan's rows under the execution guards.
@@ -735,7 +865,8 @@ class Database:
             for attempt in range(self.io_retries + 1):
                 mark = len(txn.undo)
                 try:
-                    result = fn()
+                    with self._snapshot_scope():
+                        result = fn()
                     break
                 except SimulatedCrash:
                     raise
@@ -810,7 +941,7 @@ class Database:
             row: List[Any] = [None] * len(table.columns)
             for pos, value in zip(positions, values):
                 row[pos] = value
-            rid = table.insert(tuple(row))
+            rid = self._mvcc_insert(table, tuple(row))
             self._record_insert(table, rid)
             count += 1
         self._end_of_statement()
@@ -849,7 +980,11 @@ class Database:
                 new_row[pos] = fn(tagged, [])
             pending.append((rid, row, tuple(new_row)))
         for rid, old_row, new_row in pending:
-            table.update(rid, new_row)
+            self._mvcc_write_check(table, rid)
+            self._mvcc_apply(
+                table, rid, old_row, new_row,
+                lambda: table.update(rid, new_row),
+            )
             self._record_update(table, rid, old_row, new_row)
         self._end_of_statement()
         return Result(rowcount=len(pending))
@@ -876,7 +1011,8 @@ class Database:
                 continue
             pending.append((tagged[0], tagged[1:]))
         for rid, row in pending:
-            table.delete(rid)
+            self._mvcc_write_check(table, rid)
+            self._mvcc_apply(table, rid, row, None, lambda: table.delete(rid))
             self._record_delete(table, rid, row)
         self._end_of_statement()
         return Result(rowcount=len(pending))
@@ -964,14 +1100,118 @@ class Database:
         self.txn_manager.rollback(self._txn)  # type: ignore[arg-type]
         self._txn = None
 
+    def run_retryable(
+        self,
+        fn: Callable[[], Any],
+        *,
+        retries: int = 5,
+        backoff_s: float = 0.002,
+        max_backoff_s: float = 0.25,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> Any:
+        """Run *fn* (typically a whole transaction) retrying retryable
+        errors with exponential backoff and jitter.
+
+        Retryable errors are the ones the taxonomy marks so: no-wait
+        deadlock victims (:class:`DeadlockError`), snapshot write-write
+        conflicts (:class:`SerializationError`), admission rejections
+        (:class:`AdmissionError`) and transient :class:`IOFaultError`.
+        Any transaction this thread left open is rolled back before each
+        retry, so *fn* always starts on a fresh snapshot.  After *retries*
+        failed re-runs the last error propagates.  Pass a seeded *rng* for
+        deterministic backoff in tests.
+        """
+        rng = rng if rng is not None else random.Random()
+        delay = backoff_s
+        for attempt in range(retries + 1):
+            try:
+                return fn()
+            except ReproError as err:
+                if not getattr(err, "retryable", False):
+                    raise
+                if self.in_transaction:
+                    try:
+                        self.rollback()
+                    except ReproError:
+                        pass
+                if attempt >= retries:
+                    raise
+                self.metrics.inc("txn.retries")
+                sleep_s = min(delay, max_backoff_s) * (1.0 + jitter * rng.random())
+                if sleep_s > 0:
+                    time.sleep(sleep_s)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def vacuum(self) -> Dict[str, int]:
+        """Run one MVCC garbage-collection pass: drop row versions older
+        than the oldest active snapshot.  No-op (zero counters) when MVCC
+        mode is off."""
+        if self.mvcc is None:
+            return {"horizon": 0, "pruned": 0, "dropped": 0}
+        return self.mvcc.store.vacuum()
+
+    def _mvcc_write_check(self, table: Table, rid) -> None:
+        """First-committer-wins: before physically touching a row, verify
+        its current version is not newer than this transaction's snapshot
+        (raises the retryable SerializationError otherwise)."""
+        mv = self.mvcc
+        if mv is None:
+            return
+        txn = self._txn
+        if txn is None or txn.snapshot is None:
+            return
+        mv.store.check_write(table.name, rid, txn.snapshot)
+
+    def _mvcc_insert(self, table: Table, row: Tuple[Any, ...]):
+        """Heap insert with the version note taken in the same store
+        critical section, so snapshot scans that observe the new heap row
+        always find the entry that hides it until commit."""
+        mv = self.mvcc
+        txn = self._txn
+        if mv is None or txn is None or txn.snapshot is None:
+            return table.insert(row)
+        return mv.store.insert_with_note(txn.txn_id, table, row)
+
+    def _mvcc_apply(self, table: Table, rid, before, after, apply_fn) -> None:
+        """Run a physical update/delete with its version note registered
+        *first*: lock-free readers read the heap row before the store, so
+        a missing entry must mean the heap row was untouched at read time.
+        If the physical change fails the note is retracted."""
+        mv = self.mvcc
+        txn = self._txn
+        if mv is None or txn is None or txn.snapshot is None:
+            apply_fn()
+            return
+        mv.store.note_write(txn.txn_id, table.name, rid, before, after)
+        try:
+            apply_fn()
+        except BaseException:
+            mv.store.pop_note(txn.txn_id)
+            raise
+
     def _lock(self, table: str, mode: LockMode) -> None:
+        txn = self._txn
+        if txn is None or not txn.active:
+            return
+        if self.mvcc is not None:
+            # MVCC mode: reads are served from snapshots and take no locks
+            # at all (writers never block readers and vice versa).  Writers
+            # — implicit per-statement transactions included, since other
+            # threads can interleave mid-statement — take no-wait X locks
+            # for writer-writer ordering.
+            if mode is LockMode.SHARED:
+                return
+            self.txn_manager.locks.acquire(txn.txn_id, table, mode)
+            return
         # Implicit (per-statement) transactions skip lock acquisition: the
         # statement completes before control returns to any other session,
         # so statement-scope locks would never be observed — and taking
         # them would make autocommit DML conflict with open transactions,
         # which the pre-transactional autocommit path never did.
-        if self._txn is not None and self._txn.active and not self._txn.implicit:
-            self.txn_manager.locks.acquire(self._txn.txn_id, table, mode)
+        if not txn.implicit:
+            self.txn_manager.locks.acquire(txn.txn_id, table, mode)
 
     def _end_of_statement(self) -> None:
         """Cursor stability releases read locks at statement end."""
@@ -1097,7 +1337,13 @@ class Database:
                 "statement_retries": self.metrics.counter(
                     "sql.statement_retries"
                 ).value,
+                "retries": self.metrics.counter("txn.retries").value,
             },
+            "mvcc": (
+                {"enabled": True, **self.mvcc.metrics()}
+                if self.mvcc is not None
+                else {"enabled": False}
+            ),
             "fixpoint": fixpoint,
             "plan_cache": self.plan_cache.stats(),
             "statements": {

@@ -36,6 +36,23 @@ class PlanOp:
         return "\n".join(lines)
 
 
+def _mvcc_state(table):
+    """``(store, snapshot)`` when MVCC snapshot resolution applies to
+    *table* right now, else None.  Virtual tables (no ``_mvcc_read_state``)
+    and the fast path (MVCC off / no ambient snapshot / no versioned rows)
+    all return None, keeping the common case allocation-free.
+
+    Index scans need MVCC care beyond Table.scan(): index entries reflect
+    the *latest* row versions, so a probe must (a) resolve each RID through
+    ``fetch_visible`` and re-verify the key on the resolved image (the
+    visible version may predate a key change), and (b) supplement with
+    versioned rows the index no longer points at under this key (deleted
+    rows, or rows whose indexed key changed after the snapshot).
+    """
+    probe = getattr(table, "_mvcc_read_state", None)
+    return probe() if probe is not None else None
+
+
 class SeqScan(PlanOp):
     """Full scan of a base table; optionally emits the RID as column 0."""
 
@@ -67,9 +84,24 @@ class IndexEqScan(PlanOp):
         key = tuple(fn((), env) for fn in self.key_fns)
         if any(component is None for component in key):
             return
+        state = _mvcc_state(self.table)
+        if state is None:
+            for rid in self.index.search(key):
+                row = self.table.fetch(rid)
+                yield ((rid,) + row) if self.emit_rid else row
+            return
+        store, snap = state
+        positions = self.index.column_positions
+        seen = set()
         for rid in self.index.search(key):
-            row = self.table.fetch(rid)
+            seen.add(rid)
+            row = self.table.fetch_visible(rid)
+            if row is None or tuple(row[p] for p in positions) != key:
+                continue
             yield ((rid,) + row) if self.emit_rid else row
+        for rid, row in store.candidates(self.table.name, snap, seen):
+            if tuple(row[p] for p in positions) == key:
+                yield ((rid,) + row) if self.emit_rid else row
 
 
 class IndexRangeScan(PlanOp):
@@ -106,11 +138,43 @@ class IndexRangeScan(PlanOp):
             if value is None:
                 return
             high = (value,)
+        state = _mvcc_state(self.table)
+        if state is None:
+            for _, rid in self.index.range_scan(
+                low, high, self.low_inclusive, self.high_inclusive
+            ):
+                row = self.table.fetch(rid)
+                yield ((rid,) + row) if self.emit_rid else row
+            return
+        store, snap = state
+        pos = self.index.column_positions[0]
+        seen = set()
         for _, rid in self.index.range_scan(
             low, high, self.low_inclusive, self.high_inclusive
         ):
-            row = self.table.fetch(rid)
+            seen.add(rid)
+            row = self.table.fetch_visible(rid)
+            if row is None or not self._in_bounds(row[pos], low, high):
+                continue
             yield ((rid,) + row) if self.emit_rid else row
+        for rid, row in store.candidates(self.table.name, snap, seen):
+            if self._in_bounds(row[pos], low, high):
+                yield ((rid,) + row) if self.emit_rid else row
+
+    def _in_bounds(self, value, low, high) -> bool:
+        """Re-verify the range predicate on a snapshot-resolved image."""
+        if value is None:
+            return False
+        key = sort_key(value)
+        if low is not None:
+            lo = sort_key(low[0])
+            if key < lo or (key == lo and not self.low_inclusive):
+                return False
+        if high is not None:
+            hi = sort_key(high[0])
+            if key > hi or (key == hi and not self.high_inclusive):
+                return False
+        return True
 
 
 class ValuesOp(PlanOp):
@@ -263,12 +327,41 @@ class IndexNLJoin(PlanOp):
     def rows(self, env: Env) -> Iterator[Row]:
         residual = self.residual
         pad = (None,) * self.right_width
+        state = _mvcc_state(self.table)
+        if state is None:
+            for left_row in self.left.rows(env):
+                key = tuple(fn(left_row, env) for fn in self.key_fns)
+                matched = False
+                if not any(component is None for component in key):
+                    for rid in self.index.search(key):
+                        combined = left_row + self.table.fetch(rid)
+                        if residual is None or residual(combined, env) is True:
+                            matched = True
+                            yield combined
+                if not matched and self.kind == "LEFT":
+                    yield left_row + pad
+            return
+        store, snap = state
+        positions = self.index.column_positions
+        name = self.table.name
         for left_row in self.left.rows(env):
             key = tuple(fn(left_row, env) for fn in self.key_fns)
             matched = False
             if not any(component is None for component in key):
+                seen = set()
                 for rid in self.index.search(key):
-                    combined = left_row + self.table.fetch(rid)
+                    seen.add(rid)
+                    row = self.table.fetch_visible(rid)
+                    if row is None or tuple(row[p] for p in positions) != key:
+                        continue
+                    combined = left_row + row
+                    if residual is None or residual(combined, env) is True:
+                        matched = True
+                        yield combined
+                for rid, row in store.candidates(name, snap, seen):
+                    if tuple(row[p] for p in positions) != key:
+                        continue
+                    combined = left_row + row
                     if residual is None or residual(combined, env) is True:
                         matched = True
                         yield combined

@@ -109,7 +109,10 @@ class VecSeqScan(VecOp):
     def batches(self, env: Env) -> Iterator[Batch]:
         width = len(self.table.columns)
         buffer: List[Row] = []
-        for chunk in self.table.heap.scan_row_chunks():
+        # Table.scan_row_chunks dispatches to the heap directly on the fast
+        # path and to snapshot-resolved chunks under MVCC, so vectorized
+        # scans see exactly the row images the row executor would.
+        for chunk in self.table.scan_row_chunks():
             buffer.extend(chunk)
             if len(buffer) >= BATCH_SIZE:
                 yield batch_from_rows(buffer, width)

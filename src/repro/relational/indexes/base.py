@@ -3,9 +3,19 @@
 Indexes map key tuples (values of the indexed columns) to sets of RIDs.
 Rows whose key contains a NULL are not indexed: SQL equality never matches
 NULL, and our executor routes ``IS NULL`` predicates to scans.
+
+Every index carries a latch serialising structural changes against
+lookups.  MVCC readers take no table locks, so a scan can run while a
+writer splits B-tree nodes or rehashes buckets; without the latch a
+concurrent split can double-yield or skip committed keys mid-iteration.
+Subclass lookups must acquire it (range scans materialise their matches
+under it), and the maintenance entry points here hold it so the
+unique-check + insert pair is atomic as well.
 """
 
 from __future__ import annotations
+
+import threading
 
 from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
@@ -34,6 +44,7 @@ class Index:
         self.column_names = list(column_names)
         self.column_positions = list(column_positions)
         self.unique = unique
+        self._latch = threading.RLock()
 
     # -- key extraction ------------------------------------------------------
 
@@ -50,17 +61,19 @@ class Index:
         key = self.key_of(row)
         if key is None:
             return
-        if self.unique and self.search(key):
-            raise IntegrityError(
-                f"unique index {self.name} violated by key {key!r}"
-            )
-        self._insert(key, rid)
+        with self._latch:
+            if self.unique and self.search(key):
+                raise IntegrityError(
+                    f"unique index {self.name} violated by key {key!r}"
+                )
+            self._insert(key, rid)
 
     def delete_row(self, row: Tuple[Any, ...], rid: RID) -> None:
         key = self.key_of(row)
         if key is None:
             return
-        self._delete(key, rid)
+        with self._latch:
+            self._delete(key, rid)
 
     def update_row(
         self, old_row: Tuple[Any, ...], new_row: Tuple[Any, ...], rid: RID
@@ -69,14 +82,15 @@ class Index:
         new_key = self.key_of(new_row)
         if old_key == new_key:
             return
-        if old_key is not None:
-            self._delete(old_key, rid)
-        if new_key is not None:
-            if self.unique and self.search(new_key):
-                raise IntegrityError(
-                    f"unique index {self.name} violated by key {new_key!r}"
-                )
-            self._insert(new_key, rid)
+        with self._latch:
+            if old_key is not None:
+                self._delete(old_key, rid)
+            if new_key is not None:
+                if self.unique and self.search(new_key):
+                    raise IntegrityError(
+                        f"unique index {self.name} violated by key {new_key!r}"
+                    )
+                self._insert(new_key, rid)
 
     # -- lookup (subclass responsibilities) ------------------------------------
 

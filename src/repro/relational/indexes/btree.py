@@ -65,12 +65,13 @@ class BTreeIndex(Index):
     # -- lookup ----------------------------------------------------------------
 
     def search(self, key: Key) -> List[RID]:
-        norm = _normalise(key)
-        leaf = self._find_leaf(norm)
-        pos = bisect.bisect_left(leaf.keys, norm)
-        if pos < len(leaf.keys) and leaf.keys[pos] == norm:
-            return sorted(leaf.values[pos][1])
-        return []
+        with self._latch:
+            norm = _normalise(key)
+            leaf = self._find_leaf(norm)
+            pos = bisect.bisect_left(leaf.keys, norm)
+            if pos < len(leaf.keys) and leaf.keys[pos] == norm:
+                return sorted(leaf.values[pos][1])
+            return []
 
     def range_scan(
         self,
@@ -79,7 +80,23 @@ class BTreeIndex(Index):
         low_inclusive: bool = True,
         high_inclusive: bool = True,
     ) -> Iterator[Tuple[Key, RID]]:
-        """Yield (original_key, rid) in key order within [low, high]."""
+        """(original_key, rid) pairs in key order within [low, high].
+
+        Materialised under the index latch: lazily walking the live leaf
+        chain would let a concurrent split double-yield or skip keys.
+        """
+        with self._latch:
+            return iter(
+                list(self._iter_range(low, high, low_inclusive, high_inclusive))
+            )
+
+    def _iter_range(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> Iterator[Tuple[Key, RID]]:
         norm_high = _normalise(high) if high is not None else None
         if low is not None:
             norm_low = _normalise(low)
@@ -132,19 +149,21 @@ class BTreeIndex(Index):
                     leaf.values.pop(pos)
 
     def clear(self) -> None:
-        self._root = _Leaf()
-        self._size = 0
+        with self._latch:
+            self._root = _Leaf()
+            self._size = 0
 
     def __len__(self) -> int:
         return self._size
 
     def distinct_keys(self) -> int:
-        count = 0
-        leaf = self._leftmost_leaf()
-        while leaf is not None:
-            count += len(leaf.keys)
-            leaf = leaf.next
-        return count
+        with self._latch:
+            count = 0
+            leaf = self._leftmost_leaf()
+            while leaf is not None:
+                count += len(leaf.keys)
+                leaf = leaf.next
+            return count
 
     # -- internals ------------------------------------------------------------
 

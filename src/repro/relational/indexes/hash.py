@@ -19,7 +19,8 @@ class HashIndex(Index):
         self._size = 0
 
     def search(self, key: Key) -> List[RID]:
-        return sorted(self._buckets.get(key, ()))
+        with self._latch:
+            return sorted(self._buckets.get(key, ()))
 
     def _insert(self, key: Key, rid: RID) -> None:
         bucket = self._buckets.setdefault(key, set())
@@ -36,8 +37,9 @@ class HashIndex(Index):
                 del self._buckets[key]
 
     def clear(self) -> None:
-        self._buckets.clear()
-        self._size = 0
+        with self._latch:
+            self._buckets.clear()
+            self._size = 0
 
     def __len__(self) -> int:
         return self._size

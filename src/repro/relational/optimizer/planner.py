@@ -17,6 +17,7 @@ GroupBy, SetOp, Top and Values boxes compile structurally.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -120,6 +121,9 @@ class CompiledPlan:
     op: PlanOp
     columns: List[str]
     context: Optional[PlanContext] = None
+    #: serializes bind-parameters + execution on cached plans shared by
+    #: concurrent session threads (engine holds it across bind + collect)
+    bind_lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def rows(self, env: Optional[list] = None):
         if self.context is not None:

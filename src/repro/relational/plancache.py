@@ -26,6 +26,7 @@ harness can report hit rates across many Database instances.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -418,6 +419,9 @@ class PlanCache:
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY):
         self.capacity = capacity
+        # LRU mutation (move_to_end / eviction) and counter updates must be
+        # atomic when sessions on several threads share the cache.
+        self._mutex = threading.RLock()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -434,37 +438,42 @@ class PlanCache:
         index-altered or re-analyzed since compile time; stale entries are
         evicted here (lazy invalidation) and counted as invalidations.
         """
-        entry = self._entries.get(key)
-        if entry is not None:
-            for name, version in entry.dependencies.items():
-                if (
-                    catalog.object_version(name) != version
-                    or not (catalog.has_table(name) or catalog.get_view(name))
-                ):
-                    del self._entries[key]
-                    self.invalidations += 1
-                    GLOBAL_STATS["invalidations"] += 1
-                    entry = None
-                    break
-        if entry is None:
-            self.misses += 1
-            GLOBAL_STATS["misses"] += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        GLOBAL_STATS["hits"] += 1
-        return entry
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is not None:
+                for name, version in entry.dependencies.items():
+                    if (
+                        catalog.object_version(name) != version
+                        or not (
+                            catalog.has_table(name) or catalog.get_view(name)
+                        )
+                    ):
+                        del self._entries[key]
+                        self.invalidations += 1
+                        GLOBAL_STATS["invalidations"] += 1
+                        entry = None
+                        break
+            if entry is None:
+                self.misses += 1
+                GLOBAL_STATS["misses"] += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            GLOBAL_STATS["hits"] += 1
+            return entry
 
     def store(self, key: CacheKey, entry: CacheEntry) -> None:
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            GLOBAL_STATS["evictions"] += 1
+        with self._mutex:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                GLOBAL_STATS["evictions"] += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
     def invalidate_all(self) -> int:
         """Drop every entry, counting each as an invalidation.
@@ -473,20 +482,22 @@ class PlanCache:
         objects whose heaps and indexes were just rebuilt, so none of them
         may survive.  Returns the number of entries dropped.
         """
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += dropped
-        GLOBAL_STATS["invalidations"] += dropped
-        return dropped
+        with self._mutex:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            GLOBAL_STATS["invalidations"] += dropped
+            return dropped
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "evictions": self.evictions,
-            "entries": len(self._entries),
-            "volatile_entries": sum(
-                1 for entry in self._entries.values() if entry.volatile
-            ),
-        }
+        with self._mutex:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "volatile_entries": sum(
+                    1 for entry in self._entries.values() if entry.volatile
+                ),
+            }

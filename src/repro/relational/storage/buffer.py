@@ -8,6 +8,7 @@ object, which shows up directly as fewer misses for the same trace.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict
 
@@ -24,6 +25,12 @@ class BufferPool:
             raise ValueError("buffer pool needs at least one frame")
         self.disk = disk
         self.capacity = capacity
+        # One latch over frame/pin bookkeeping: fetch/unpin/eviction all
+        # mutate the LRU order and pin counts, which must stay coherent
+        # when session threads share the pool.  RLock because a flush can
+        # call back into the WAL-ahead hook while the latch is held (lock
+        # order is always buffer -> wal, never the reverse).
+        self._latch = threading.RLock()
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self._pins: Dict[int, int] = {}
         self.hits = 0
@@ -46,53 +53,58 @@ class BufferPool:
 
     def fetch(self, page_id: int) -> Page:
         """Pin and return the page, reading it from disk on a miss."""
-        self.pin_count += 1
-        if page_id in self._frames:
-            self.hits += 1
-            self._frames.move_to_end(page_id)
-            self._pins[page_id] = self._pins.get(page_id, 0) + 1
-            return self._frames[page_id]
-        self.misses += 1
-        self._evict_if_full()
-        page = self.disk.read(page_id)
-        self._frames[page_id] = page
-        self._pins[page_id] = 1
-        return page
+        with self._latch:
+            self.pin_count += 1
+            if page_id in self._frames:
+                self.hits += 1
+                self._frames.move_to_end(page_id)
+                self._pins[page_id] = self._pins.get(page_id, 0) + 1
+                return self._frames[page_id]
+            self.misses += 1
+            self._evict_if_full()
+            page = self.disk.read(page_id)
+            self._frames[page_id] = page
+            self._pins[page_id] = 1
+            return page
 
     def unpin(self, page_id: int, dirty: bool = False) -> None:
-        pins = self._pins.get(page_id, 0)
-        if pins <= 0:
-            raise ExecutionError(f"unpin of unpinned page {page_id}")
-        self._pins[page_id] = pins - 1
-        if dirty:
-            self._frames[page_id].dirty = True
+        with self._latch:
+            pins = self._pins.get(page_id, 0)
+            if pins <= 0:
+                raise ExecutionError(f"unpin of unpinned page {page_id}")
+            self._pins[page_id] = pins - 1
+            if dirty:
+                self._frames[page_id].dirty = True
 
     def new_page(self) -> Page:
         """Allocate a fresh page on disk and pin it in the pool."""
-        self.pin_count += 1
-        page_id = self.disk.allocate()
-        self._evict_if_full()
-        page = Page(page_id, self.disk.page_size)
-        self._frames[page_id] = page
-        self._pins[page_id] = 1
-        return page
+        with self._latch:
+            self.pin_count += 1
+            page_id = self.disk.allocate()
+            self._evict_if_full()
+            page = Page(page_id, self.disk.page_size)
+            self._frames[page_id] = page
+            self._pins[page_id] = 1
+            return page
 
     # -- maintenance ---------------------------------------------------------
 
     def flush_all(self) -> None:
         """Write every dirty resident page back to disk (checkpoint)."""
-        for page in self._frames.values():
-            if page.dirty:
-                self._write_page(page)
-                page.dirty = False
+        with self._latch:
+            for page in self._frames.values():
+                if page.dirty:
+                    self._write_page(page)
+                    page.dirty = False
 
     def clear(self) -> None:
         """Flush and drop all frames — simulates a cold cache."""
-        self.flush_all()
-        unpinned = [pid for pid, pins in self._pins.items() if pins == 0]
-        for pid in unpinned:
-            del self._frames[pid]
-            del self._pins[pid]
+        with self._latch:
+            self.flush_all()
+            unpinned = [pid for pid, pins in self._pins.items() if pins == 0]
+            for pid in unpinned:
+                del self._frames[pid]
+                del self._pins[pid]
 
     def invalidate(self) -> None:
         """Drop every frame WITHOUT writing anything back.
@@ -101,8 +113,9 @@ class BufferPool:
         on disk, so any frame still cached here is stale (and possibly
         pinned state left over from the statement that crashed).
         """
-        self._frames.clear()
-        self._pins.clear()
+        with self._latch:
+            self._frames.clear()
+            self._pins.clear()
 
     def reset_stats(self) -> None:
         self.hits = 0

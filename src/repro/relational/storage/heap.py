@@ -161,6 +161,40 @@ class HeapFile:
             if rows:
                 yield rows
 
+    def page_ids(self) -> List[int]:
+        """Point-in-time copy of the page list (concurrent inserts extend it)."""
+        return list(self._page_ids)
+
+    def scan_page_rows(self) -> Iterator[Tuple[int, List[Tuple[Any, ...]]]]:
+        """Yield ``(page_id, live rows)`` per page — :meth:`scan_row_chunks`
+        plus the page id.  MVCC chunk scans use this for clean pages (no
+        version entries for the table) and re-read dirty pages with RIDs
+        via :meth:`scan_page_pairs`."""
+        table = self.table
+        for page_id in list(self._page_ids):
+            page = self.buffer_pool.fetch(page_id)
+            try:
+                rows = [
+                    content[1]
+                    for content in page.slots
+                    if content is not None and content[0] == table
+                ]
+            finally:
+                self.buffer_pool.unpin(page_id)
+            yield page_id, rows
+
+    def scan_page_pairs(self, page_id: int) -> List[Tuple[RID, Tuple[Any, ...]]]:
+        """The ``(rid, row)`` pairs of one page, read under the pin."""
+        page = self.buffer_pool.fetch(page_id)
+        try:
+            return [
+                (RID(page_id, slot), content[1])
+                for slot, content in enumerate(page.slots)
+                if content is not None and content[0] == self.table
+            ]
+        finally:
+            self.buffer_pool.unpin(page_id)
+
     def register_page(self, page_id: int) -> None:
         if page_id not in self._page_id_set:
             self._page_id_set.add(page_id)

@@ -17,7 +17,10 @@ The catalog of tables:
 ``SYS_STAT_INDEXES``     index kind / uniqueness / key columns
 ``SYS_STAT_BUFFER``      buffer-pool counters (one wide row)
 ``SYS_STAT_WAL``         WAL counters incl. torn-flush repairs (one row)
-``SYS_STAT_LOCKS``       lock-manager counters (one row)
+``SYS_STAT_LOCKS``       lock-manager counters incl. per-mode held (one row)
+``SYS_LOCK_HOLDERS``     point-in-time (table, txn, mode) lock grants
+``SYS_SNAPSHOTS``        active MVCC snapshots + version-store / conflict /
+                         vacuum counters (one counter-only row when idle)
 ``SYS_TRACE_SPANS``      flattened recent span trees with parent_span_id
 ``SYS_CO_STATS``         per-CO node/edge cardinalities + fixpoint profile
 ``SYS_STAT_ESTIMATES``   optimizer estimate vs. actual rows with q-error
@@ -39,6 +42,8 @@ SYS_TABLE_NAMES = (
     "SYS_STAT_BUFFER",
     "SYS_STAT_WAL",
     "SYS_STAT_LOCKS",
+    "SYS_LOCK_HOLDERS",
+    "SYS_SNAPSHOTS",
     "SYS_TRACE_SPANS",
     "SYS_CO_STATS",
     "SYS_STAT_ESTIMATES",
@@ -103,7 +108,54 @@ _WAL_KEYS = (
     "records_flushed", "bytes_flushed", "stable_lsn", "stable_records",
     "tail_records",
 )
-_LOCK_KEYS = ("acquisitions", "conflicts", "held")
+_LOCK_KEYS = (
+    "acquisitions", "conflicts", "held", "s_held", "x_held", "tables_locked",
+)
+
+#: MVCC counter columns shared by every SYS_SNAPSHOTS row
+_SNAPSHOT_COUNTER_KEYS = (
+    "oldest_read_ts", "commit_clock", "versioned_rows", "version_images",
+    "max_chain_len", "vacuum_runs", "versions_pruned", "entries_dropped",
+    "serialization_conflicts",
+)
+
+
+def _lock_holders_provider(db) -> Callable[[], Iterable[Tuple]]:
+    def provider() -> List[Tuple]:
+        return db.txn_manager.locks.holders_snapshot()
+    return provider
+
+
+def _snapshots_provider(db) -> Callable[[], Iterable[Tuple]]:
+    """One row per active snapshot; a single NULL-txn row when idle (or
+    when MVCC is off) so the shared counters are always queryable."""
+    def provider() -> List[Tuple]:
+        mv = db.mvcc
+        manager = db.txn_manager
+        if mv is None:
+            counters = tuple(0 for _ in _SNAPSHOT_COUNTER_KEYS)
+            return [
+                (None, None)
+                + counters
+                + (manager.admission_rejects, _retry_count(db))
+            ]
+        stats = mv.metrics()
+        counters = tuple(stats.get(key) for key in _SNAPSHOT_COUNTER_KEYS)
+        tail = (manager.admission_rejects, _retry_count(db))
+        active = sorted(
+            mv.snapshots.active_snapshots(), key=lambda s: s.snap_id
+        )
+        if not active:
+            return [(None, None) + counters + tail]
+        return [
+            (snap.owner or None, snap.read_ts) + counters + tail
+            for snap in active
+        ]
+    return provider
+
+
+def _retry_count(db) -> int:
+    return db.metrics.counter("txn.retries").value
 
 
 def _spans_provider(db) -> Callable[[], Iterable[Tuple]]:
@@ -221,8 +273,39 @@ def build_sys_tables(db) -> List[VirtualTable]:
                 ("acquisitions", INTEGER),
                 ("conflicts", INTEGER),
                 ("held", INTEGER),
+                ("s_held", INTEGER),
+                ("x_held", INTEGER),
+                ("tables_locked", INTEGER),
             ),
             _wide_row_provider(lambda: db.txn_manager.locks.metrics(), _LOCK_KEYS),
+        ),
+        VirtualTable(
+            "SYS_LOCK_HOLDERS",
+            _columns(
+                ("table_name", VARCHAR()),
+                ("txn_id", INTEGER),
+                ("mode", VARCHAR()),
+            ),
+            _lock_holders_provider(db),
+        ),
+        VirtualTable(
+            "SYS_SNAPSHOTS",
+            _columns(
+                ("txn_id", INTEGER),
+                ("read_ts", INTEGER),
+                ("oldest_read_ts", INTEGER),
+                ("commit_clock", INTEGER),
+                ("versioned_rows", INTEGER),
+                ("version_images", INTEGER),
+                ("max_chain_len", INTEGER),
+                ("vacuum_runs", INTEGER),
+                ("versions_pruned", INTEGER),
+                ("entries_dropped", INTEGER),
+                ("serialization_conflicts", INTEGER),
+                ("admission_rejects", INTEGER),
+                ("retries", INTEGER),
+            ),
+            _snapshots_provider(db),
         ),
         VirtualTable(
             "SYS_TRACE_SPANS",

@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import enum
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import IOFaultError, TransactionError
+from repro.errors import AdmissionError, IOFaultError, TransactionError
 from repro.relational.catalog import Table
 from repro.relational.storage.heap import RID
 from repro.relational.txn import wal as wal_kinds
@@ -67,6 +68,8 @@ class Transaction:
     #: True for the per-statement transaction the engine wraps around
     #: autocommit DML (statement == transaction)
     implicit: bool = False
+    #: MVCC read snapshot (None when MVCC mode is off)
+    snapshot: Optional[Any] = None
 
 
 class TransactionManager:
@@ -75,14 +78,27 @@ class TransactionManager:
     #: bounded retries for commit-critical WAL flushes (dropped-flush faults)
     FLUSH_ATTEMPTS = 5
 
-    def __init__(self, wal: Optional[WriteAheadLog] = None):
+    def __init__(
+        self,
+        wal: Optional[WriteAheadLog] = None,
+        max_concurrent_txns: Optional[int] = None,
+    ):
         self.locks = LockManager()
         self.wal = wal if wal is not None else WriteAheadLog()
         self._ids = itertools.count(1)
         self._active: Dict[int, Transaction] = {}
+        # guards _active / the id clock / admission across session threads
+        self._mutex = threading.RLock()
+        #: MVCCController when the owning Database runs in MVCC mode
+        self.mvcc: Optional[Any] = None
+        #: admission-control ceiling on concurrently active transactions
+        #: (None = unlimited); rejections raise the retryable AdmissionError
+        self.max_concurrent_txns = max_concurrent_txns
         self.begun = 0
         self.commits = 0
         self.aborts = 0
+        #: transactions rejected by admission control
+        self.admission_rejects = 0
         #: commit attempts bounced because the WAL could not be forced
         #: (the transaction stays active — the engine may retry)
         self.commit_flush_failures = 0
@@ -96,11 +112,21 @@ class TransactionManager:
         isolation: IsolationLevel = IsolationLevel.REPEATABLE_READ,
         implicit: bool = False,
     ) -> Transaction:
-        txn = Transaction(next(self._ids), isolation, implicit=implicit)
+        with self._mutex:
+            ceiling = self.max_concurrent_txns
+            if ceiling is not None and len(self._active) >= ceiling:
+                self.admission_rejects += 1
+                raise AdmissionError(
+                    f"admission control: {len(self._active)} transactions "
+                    f"active (max {ceiling}); retry after backoff"
+                )
+            txn = Transaction(next(self._ids), isolation, implicit=implicit)
+            self._active[txn.txn_id] = txn
+            self.begun += 1
         record = self.wal.append(txn.txn_id, wal_kinds.BEGIN)
         txn.last_lsn = record.lsn
-        self._active[txn.txn_id] = txn
-        self.begun += 1
+        if self.mvcc is not None:
+            txn.snapshot = self.mvcc.snapshots.begin(txn.txn_id)
         return txn
 
     def commit(self, txn: Transaction) -> None:
@@ -128,8 +154,17 @@ class TransactionManager:
         self.commits += 1
         txn.active = False
         txn.undo.clear()
-        self._active.pop(txn.txn_id, None)
+        if self.mvcc is not None:
+            # The commit point is durable; stamp the displaced versions
+            # with one commit timestamp and retire the snapshot.
+            self.mvcc.store.commit_txn(txn.txn_id)
+            self.mvcc.release(txn.snapshot)
+            txn.snapshot = None
+        with self._mutex:
+            self._active.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
+        if self.mvcc is not None:
+            self.mvcc.maybe_autovacuum()
 
     def rollback(self, txn: Transaction) -> None:
         self._check_active(txn)
@@ -138,7 +173,14 @@ class TransactionManager:
         self.aborts += 1
         txn.active = False
         txn.undo.clear()
-        self._active.pop(txn.txn_id, None)
+        if self.mvcc is not None:
+            # the undo pass popped the version notes in lockstep; this is
+            # defensive cleanup plus snapshot retirement
+            self.mvcc.store.abort_txn(txn.txn_id)
+            self.mvcc.release(txn.snapshot)
+            txn.snapshot = None
+        with self._mutex:
+            self._active.pop(txn.txn_id, None)
         self.locks.release_all(txn.txn_id)
 
     def rollback_statement(self, txn: Transaction, mark: int) -> int:
@@ -194,6 +236,9 @@ class TransactionManager:
                 )
                 entry.table.stamp_lsn(entry.rid, clr.lsn)  # type: ignore[arg-type]
             txn.last_lsn = clr.lsn
+            if self.mvcc is not None:
+                # version notes are 1:1 with undo entries; unwind in lockstep
+                self.mvcc.store.pop_note(txn.txn_id)
             undone += 1
         return undone
 
@@ -272,6 +317,8 @@ class TransactionManager:
             "aborts": self.aborts,
             "commit_flush_failures": self.commit_flush_failures,
             "statement_rollbacks": self.statement_rollbacks,
+            "admission_rejects": self.admission_rejects,
+            "max_concurrent_txns": self.max_concurrent_txns,
             "active": len(self._active),
         }
 
@@ -303,9 +350,12 @@ class TransactionManager:
 
     def resume_after(self, max_txn_id: int) -> None:
         """Restart the id clock past every transaction the log has seen."""
-        self._ids = itertools.count(max_txn_id + 1)
-        self._active.clear()
-        self.locks = LockManager()
+        with self._mutex:
+            self._ids = itertools.count(max_txn_id + 1)
+            self._active.clear()
+            self.locks = LockManager()
+        if self.mvcc is not None:
+            self.mvcc.reset()
 
     def recover(self, database) -> "RecoveryStats":  # noqa: F821
         """Run ARIES-style crash recovery over *database* (see

@@ -20,6 +20,7 @@ clock rewinds to the stable high-water mark.
 from __future__ import annotations
 
 import itertools
+import threading
 import zlib
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
@@ -103,6 +104,11 @@ class WriteAheadLog:
     """Append-only log split into a stable region and a volatile tail."""
 
     def __init__(self):
+        # Serializes appenders/flushers: LSN allocation and the tail list
+        # must move together, and a flush must see a consistent tail.
+        # Acquired after the buffer-pool latch when a page write forces a
+        # WAL flush (lock order: buffer -> wal, never the reverse).
+        self._mutex = threading.RLock()
         self._stable: List[LogRecord] = []
         self._tail: List[LogRecord] = []
         self._lsn = itertools.count(1)
@@ -128,12 +134,13 @@ class WriteAheadLog:
         undo_lsn: Optional[int] = None,
         extra: Optional[Dict[str, Any]] = None,
     ) -> LogRecord:
-        record = LogRecord(
-            next(self._lsn), txn_id, kind, table, before, after,
-            rid, comp_kind, undo_lsn, extra,
-        ).sealed()
-        self._tail.append(record)
-        return record
+        with self._mutex:
+            record = LogRecord(
+                next(self._lsn), txn_id, kind, table, before, after,
+                rid, comp_kind, undo_lsn, extra,
+            ).sealed()
+            self._tail.append(record)
+            return record
 
     def flush(self) -> int:
         """Force the tail to stable storage; returns the stable LSN.
@@ -147,35 +154,38 @@ class WriteAheadLog:
         tail, and the next flush overwrites the torn region, exactly like a
         log writer re-writing its last partially-filled block.
         """
-        if not self._tail:
-            return self.stable_lsn
-        self.flushes += 1
-        disposition = "ok"
-        if self.fault_injector is not None:
-            disposition = self.fault_injector.on_wal_flush(len(self._tail))
-        if disposition == "drop":
-            self.dropped_flushes += 1
-            return self.stable_lsn  # dropped: tail stays volatile
-        self._repair_torn_end()
-        if disposition == "torn":
-            self.torn_flushes += 1
-            batch = list(self._tail)
-            last = batch[-1]
-            self._stable.extend(batch[:-1])
-            self.records_flushed += len(batch) - 1
+        with self._mutex:
+            if not self._tail:
+                return self.stable_lsn
+            self.flushes += 1
+            disposition = "ok"
+            if self.fault_injector is not None:
+                disposition = self.fault_injector.on_wal_flush(len(self._tail))
+            if disposition == "drop":
+                self.dropped_flushes += 1
+                return self.stable_lsn  # dropped: tail stays volatile
+            self._repair_torn_end()
+            if disposition == "torn":
+                self.torn_flushes += 1
+                batch = list(self._tail)
+                last = batch[-1]
+                self._stable.extend(batch[:-1])
+                self.records_flushed += len(batch) - 1
+                self.bytes_flushed += sum(
+                    len(repr(record)) for record in batch[:-1]
+                )
+                self._stable.append(replace(last, crc=last.crc ^ 0xFFFFFFFF))
+                # The final record never fully persisted: keep it buffered
+                # so a retry can complete the flush.
+                self._tail = [last]
+                return self.stable_lsn
+            self.records_flushed += len(self._tail)
             self.bytes_flushed += sum(
-                len(repr(record)) for record in batch[:-1]
+                len(repr(record)) for record in self._tail
             )
-            self._stable.append(replace(last, crc=last.crc ^ 0xFFFFFFFF))
-            # The final record never fully persisted: keep it buffered so a
-            # retry can complete the flush.
-            self._tail = [last]
+            self._stable.extend(self._tail)
+            self._tail.clear()
             return self.stable_lsn
-        self.records_flushed += len(self._tail)
-        self.bytes_flushed += sum(len(repr(record)) for record in self._tail)
-        self._stable.extend(self._tail)
-        self._tail.clear()
-        return self.stable_lsn
 
     def _repair_torn_end(self) -> None:
         """Drop a torn trailing record before persisting over its region.
@@ -190,20 +200,22 @@ class WriteAheadLog:
     def retract_tail_record(self, lsn: int) -> bool:
         """Remove a not-yet-stable record (commit backs out of a failed
         flush so an ABORT can follow without contradicting the log)."""
-        for pos, record in enumerate(self._tail):
-            if record.lsn == lsn:
-                del self._tail[pos]
-                return True
-        return False
+        with self._mutex:
+            for pos, record in enumerate(self._tail):
+                if record.lsn == lsn:
+                    del self._tail[pos]
+                    return True
+            return False
 
     # -- crash simulation ----------------------------------------------------
 
     def crash(self) -> int:
         """Drop the volatile tail (power cut); returns records lost."""
-        lost = len(self._tail)
-        self._tail.clear()
-        self._lsn = itertools.count(self.stable_lsn + 1)
-        return lost
+        with self._mutex:
+            lost = len(self._tail)
+            self._tail.clear()
+            self._lsn = itertools.count(self.stable_lsn + 1)
+            return lost
 
     # -- read side -----------------------------------------------------------
 
@@ -237,17 +249,18 @@ class WriteAheadLog:
 
     def metrics(self) -> Dict[str, int]:
         """Counter snapshot for ``Database.metrics_snapshot()``."""
-        return {
-            "flushes": self.flushes,
-            "dropped_flushes": self.dropped_flushes,
-            "torn_flushes": self.torn_flushes,
-            "torn_repairs": self.torn_repairs,
-            "records_flushed": self.records_flushed,
-            "bytes_flushed": self.bytes_flushed,
-            "stable_lsn": self.stable_lsn,
-            "stable_records": len(self._stable),
-            "tail_records": len(self._tail),
-        }
+        with self._mutex:
+            return {
+                "flushes": self.flushes,
+                "dropped_flushes": self.dropped_flushes,
+                "torn_flushes": self.torn_flushes,
+                "torn_repairs": self.torn_repairs,
+                "records_flushed": self.records_flushed,
+                "bytes_flushed": self.bytes_flushed,
+                "stable_lsn": self.stable_lsn,
+                "stable_records": len(self._stable),
+                "tail_records": len(self._tail),
+            }
 
     def committed_txns(self) -> set:
         return {r.txn_id for r in self.records if r.kind == COMMIT}

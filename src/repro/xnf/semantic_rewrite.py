@@ -113,20 +113,29 @@ class XNFCompiler:
         schema.validate()
         self.db.metrics.inc("xnf.fixpoint.instantiations")
         started = time.perf_counter()
-        with self.db.tracer.span(
-            "xnf.instantiate", co=schema.name or "<anonymous>"
-        ) as span:
-            try:
-                instance = self._instantiate(schema)
-            finally:
-                self._release_temp_tables()
-            span.annotate(
-                rounds=self.stats.iterations,
-                tuples=instance.total_tuples(),
-                connections=instance.total_connections(),
-            )
-            self._record_co_stats(schema, instance, time.perf_counter() - started)
-            return instance
+        # Scratch worktables use stable names (for plan-cache fingerprint
+        # reuse), so extractions on one Database must not interleave:
+        # serialize them.  Base-table reads inside the fixpoint still
+        # resolve through the caller's ambient MVCC snapshot, so a CO
+        # extraction inside a transaction is snapshot-consistent while
+        # writers proceed concurrently.
+        with self.db.xnf_mutex:
+            with self.db.tracer.span(
+                "xnf.instantiate", co=schema.name or "<anonymous>"
+            ) as span:
+                try:
+                    instance = self._instantiate(schema)
+                finally:
+                    self._release_temp_tables()
+                span.annotate(
+                    rounds=self.stats.iterations,
+                    tuples=instance.total_tuples(),
+                    connections=instance.total_connections(),
+                )
+                self._record_co_stats(
+                    schema, instance, time.perf_counter() - started
+                )
+                return instance
 
     def _record_co_stats(
         self, schema: COSchema, instance: COInstance, duration_s: float

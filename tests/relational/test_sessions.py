@@ -43,10 +43,20 @@ class TestSessionIndependence:
 
 class TestLockConflicts:
     def test_writer_blocks_reader(self, shared):
-        _, a, b = shared
+        db, a, b = shared
         a.begin()
         a.execute("DELETE FROM PEOPLE WHERE id = 1")
         b.begin()
+        if db.mvcc is not None:
+            # Snapshot isolation: the reader never blocks and sees the
+            # pre-delete state until the writer commits.
+            assert b.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 5
+            a.commit()
+            # b's snapshot predates a's commit: still 5 rows.
+            assert b.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 5
+            b.commit()
+            assert b.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 4
+            return
         with pytest.raises(DeadlockError):
             b.execute("SELECT * FROM PEOPLE")
         a.commit()
@@ -74,10 +84,19 @@ class TestLockConflicts:
         b.commit()
 
     def test_repeatable_read_blocks_writer_until_commit(self, shared):
-        _, a, b = shared
+        db, a, b = shared
         a.begin(IsolationLevel.REPEATABLE_READ)
         a.execute("SELECT * FROM PEOPLE")
         b.begin()
+        if db.mvcc is not None:
+            # MVCC readers hold no S locks: the writer proceeds, and a's
+            # snapshot still shows the deleted row (repeatable reads come
+            # from versioning, not locks).
+            b.execute("DELETE FROM PEOPLE WHERE id = 1")
+            b.commit()
+            assert a.execute("SELECT COUNT(*) FROM PEOPLE").scalar() == 5
+            a.commit()
+            return
         with pytest.raises(DeadlockError):
             b.execute("DELETE FROM PEOPLE WHERE id = 1")
         a.commit()
