@@ -45,6 +45,19 @@ And the MVCC concurrency ledger (``BENCH_concurrency.json``, written by
   with the maximum writer count attached (readers never block on locks);
 * a missing concurrency ledger fails the gate.
 
+And the wire-server ledger (``BENCH_server.json``, written by
+``bench_server.py``):
+
+* **session survival** — ``failed_sessions`` must be exactly 0 and the
+  run must have used at least ``SERVER_CLIENTS_FLOOR`` (default 32)
+  concurrent loopback clients;
+* **tail latency** — the overall p99 must stay under
+  ``SERVER_P99_BUDGET_MS`` (default 5000 ms — a liveness bound for slow
+  CI machines, not a µs-level target);
+* **throughput** — overall throughput must stay above
+  ``SERVER_THROUGHPUT_FLOOR`` (default 10 ops/s);
+* a missing server ledger fails the gate.
+
 ``--update`` regenerates the baseline from the fresh ledger (run the
 benchmark smoke first, then commit the result).
 
@@ -63,6 +76,7 @@ LEDGER_PATH = HERE.parent / "BENCH_plan_cache.json"
 OBSERVABILITY_LEDGER_PATH = HERE.parent / "BENCH_observability.json"
 VECTORIZED_LEDGER_PATH = HERE.parent / "BENCH_vectorized.json"
 CONCURRENCY_LEDGER_PATH = HERE.parent / "BENCH_concurrency.json"
+SERVER_LEDGER_PATH = HERE.parent / "BENCH_server.json"
 BASELINE_PATH = HERE / "baseline.json"
 
 TOLERANCE = float(os.environ.get("PERF_TOLERANCE", "0.30"))
@@ -74,6 +88,11 @@ TRACING_OVERHEAD_BUDGET = float(
 SYS_SCAN_BUDGET_MS = float(os.environ.get("SYS_SCAN_BUDGET_MS", "50.0"))
 VEC_SPEEDUP_FLOOR = float(os.environ.get("VEC_SPEEDUP_FLOOR", "3.0"))
 MVCC_OVERHEAD_BUDGET = float(os.environ.get("MVCC_OVERHEAD_BUDGET", "0.10"))
+SERVER_CLIENTS_FLOOR = int(os.environ.get("SERVER_CLIENTS_FLOOR", "32"))
+SERVER_P99_BUDGET_MS = float(os.environ.get("SERVER_P99_BUDGET_MS", "5000.0"))
+SERVER_THROUGHPUT_FLOOR = float(
+    os.environ.get("SERVER_THROUGHPUT_FLOOR", "10.0")
+)
 
 #: Workloads the vectorized ledger must contain — a silently-dropped
 #: workload would otherwise pass the floor vacuously.
@@ -287,6 +306,60 @@ def check_concurrency(ledger: dict) -> int:
     return 0
 
 
+def check_server(ledger: dict) -> int:
+    """Gate the wire-server ledger (sessions, tail latency, throughput)."""
+    failures = []
+    failed = ledger.get("failed_sessions")
+    clients = ledger.get("clients", 0)
+    if failed is None:
+        failures.append("server: ledger lacks failed_sessions")
+    else:
+        verdict = "FAIL" if failed != 0 else "ok"
+        print(f"server: {clients} clients, {failed} failed sessions {verdict}")
+        if failed != 0:
+            failures.append(f"server: {failed} wire sessions failed")
+    if clients < SERVER_CLIENTS_FLOOR:
+        failures.append(
+            f"server: ran with {clients} clients, below the "
+            f"{SERVER_CLIENTS_FLOOR}-client acceptance floor"
+        )
+    p99 = ledger.get("overall", {}).get("p99_ms")
+    if p99 is None:
+        failures.append("server: ledger lacks overall p99_ms")
+    else:
+        verdict = "FAIL" if p99 > SERVER_P99_BUDGET_MS else "ok"
+        print(
+            f"server: p99 {p99:.1f} ms "
+            f"(budget {SERVER_P99_BUDGET_MS:.0f} ms) {verdict}"
+        )
+        if p99 > SERVER_P99_BUDGET_MS:
+            failures.append(
+                f"server: p99 {p99:.1f} ms exceeds the "
+                f"{SERVER_P99_BUDGET_MS:.0f} ms budget"
+            )
+    throughput = ledger.get("throughput_ops_s")
+    if throughput is None:
+        failures.append("server: ledger lacks throughput_ops_s")
+    else:
+        verdict = "FAIL" if throughput < SERVER_THROUGHPUT_FLOOR else "ok"
+        print(
+            f"server: throughput {throughput:.1f} ops/s "
+            f"(floor {SERVER_THROUGHPUT_FLOOR:.0f} ops/s) {verdict}"
+        )
+        if throughput < SERVER_THROUGHPUT_FLOOR:
+            failures.append(
+                f"server: throughput {throughput:.1f} ops/s below the "
+                f"{SERVER_THROUGHPUT_FLOOR:.0f} ops/s floor"
+            )
+    if failures:
+        print("\nserver gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("server gate passed")
+    return 0
+
+
 def main(argv) -> int:
     ledger = load(LEDGER_PATH)
     if "--update" in argv:
@@ -296,7 +369,8 @@ def main(argv) -> int:
     obs_status = check_observability(load(OBSERVABILITY_LEDGER_PATH))
     vec_status = check_vectorized(load(VECTORIZED_LEDGER_PATH))
     conc_status = check_concurrency(load(CONCURRENCY_LEDGER_PATH))
-    return status or obs_status or vec_status or conc_status
+    server_status = check_server(load(SERVER_LEDGER_PATH))
+    return status or obs_status or vec_status or conc_status or server_status
 
 
 if __name__ == "__main__":

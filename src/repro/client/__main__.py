@@ -1,0 +1,6 @@
+"""``python -m repro.client`` — the wire-protocol REPL."""
+
+from repro.client.repl import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,306 @@
+"""Blocking wire-protocol client.
+
+:class:`WireClient` is the client half of :mod:`repro.server`: one TCP
+connection, one wire session (its own transaction state and statement
+timeout on the server).  Every request raises the *same* typed exception
+an in-process caller would see — the server serializes its error taxonomy
+and :func:`~repro.server.protocol.rehydrate_error` rebuilds the class, its
+``retryable`` flag and its ``backoff_hint_s`` — so
+:meth:`WireClient.run_retryable` behaves exactly like
+:meth:`Database.run_retryable` across the network: roll back, back off
+(seeded from the server's hint), re-run on a fresh snapshot.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import CursorError, ReproError
+from repro.server import protocol
+
+
+class WireResult:
+    """Result set of one remote statement.
+
+    Small results arrive inline; long ones stream through a server-side
+    fetch cursor that :meth:`rows` / iteration drain transparently.
+    """
+
+    def __init__(self, client: "WireClient", payload: Dict[str, Any]):
+        self._client = client
+        self.columns: List[str] = payload.get("columns") or []
+        self.rowcount: int = payload.get("rowcount", 0)
+        self._rows: List[Tuple[Any, ...]] = [
+            tuple(row) for row in payload.get("rows") or []
+        ]
+        self._cursor: Optional[int] = payload.get("cursor")
+        self._more: bool = bool(payload.get("more"))
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """All rows (drains the server-side cursor if one is open)."""
+        while self._more:
+            self._fetch_more()
+        return self._rows
+
+    def _fetch_more(self) -> None:
+        payload = self._client.request(op="FETCH", cursor=self._cursor)
+        self._rows.extend(tuple(row) for row in payload.get("rows") or [])
+        self._more = bool(payload.get("more"))
+
+    def scalar(self) -> Any:
+        rows = self.rows()
+        return rows[0][0] if rows else None
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        rows = self.rows()
+        return rows[0] if rows else None
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows())
+
+    def __len__(self) -> int:
+        return len(self.rows())
+
+
+class RemotePrepared:
+    """Handle on a server-side prepared statement."""
+
+    def __init__(self, client: "WireClient", stmt_id: int, n_params: int):
+        self._client = client
+        self.stmt_id = stmt_id
+        self.n_params = n_params
+
+    def execute(self, params: Sequence[Any] = ()) -> WireResult:
+        payload = self._client.request(
+            op="EXECUTE", stmt=self.stmt_id, params=list(params)
+        )
+        return WireResult(self._client, payload)
+
+
+class RemoteCOCursor:
+    """Client handle on a server-side independent CO cursor."""
+
+    def __init__(self, client: "WireClient", cursor_id: int, node: str):
+        self._client = client
+        self.cursor_id = cursor_id
+        self.node = node
+        self._buffer: List[Dict[str, Any]] = []
+        self._exhausted = False
+
+    def fetch(self) -> Optional[Dict[str, Any]]:
+        """Next tuple as a dict, or None at end of set."""
+        if not self._buffer and not self._exhausted:
+            payload = self._client.request(
+                op="CO_FETCH", cursor=self.cursor_id, n=100
+            )
+            self._buffer.extend(payload.get("rows") or [])
+            self._exhausted = not payload.get("more", False)
+        if self._buffer:
+            return self._buffer.pop(0)
+        return None
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        while True:
+            row = self.fetch()
+            if row is None:
+                return
+            yield row
+
+
+class RemoteCO:
+    """Client handle on a composite object held open in the wire session."""
+
+    def __init__(self, client: "WireClient", payload: Dict[str, Any]):
+        self._client = client
+        self.co_id: int = payload["co"]
+        #: node name -> tuple count (as extracted)
+        self.nodes: Dict[str, int] = payload.get("nodes") or {}
+        #: edge name -> connection count
+        self.edges: Dict[str, int] = payload.get("edges") or {}
+        self._closed = False
+
+    def cursor(self, node: str) -> RemoteCOCursor:
+        payload = self._client.request(op="CO_CURSOR", co=self.co_id, node=node)
+        return RemoteCOCursor(self._client, payload["cursor"], node)
+
+    def path(
+        self, start: str, path: str, **criteria: Any
+    ) -> List[Dict[str, Any]]:
+        """Evaluate a path expression server-side.
+
+        ``criteria`` anchor the start: ``co.path("Xdept", "employment",
+        dname="d1")`` navigates from the department named d1.
+        """
+        payload = self._client.request(
+            op="CO_PATH", co=self.co_id, start=start, path=path,
+            criteria=criteria or None,
+        )
+        return payload.get("rows") or []
+
+    def close(self) -> None:
+        if not self._closed:
+            self._client.request(op="CO_CLOSE", co=self.co_id)
+            self._closed = True
+
+    def __enter__(self) -> "RemoteCO":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            self.close()
+        except (ReproError, OSError):
+            pass
+
+
+class WireClient:
+    """One blocking connection to an :class:`~repro.server.XNFServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7474,
+        *,
+        auth_token: Optional[str] = None,
+        connect_timeout_s: float = 10.0,
+        io_timeout_s: Optional[float] = 120.0,
+    ):
+        self.sock = socket.create_connection((host, port), connect_timeout_s)
+        self.sock.settimeout(io_timeout_s)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello = protocol.read_frame(self.sock)
+        if not hello.get("ok"):
+            # the server refused admission before the session existed
+            self.sock.close()
+            raise protocol.rehydrate_error(hello.get("error") or {})
+        self.server_info = hello
+        self.session_id: int = hello.get("session", -1)
+        self.mvcc: bool = bool(hello.get("mvcc"))
+        self._closed = False
+        if auth_token is not None:
+            self.request(op="AUTH", token=auth_token)
+
+    # -- framing --------------------------------------------------------------
+
+    def request(self, **payload: Any) -> Dict[str, Any]:
+        """Send one frame, await its response; raise on error frames."""
+        if self._closed:
+            raise CursorError("client connection is closed")
+        protocol.write_frame(self.sock, payload)
+        response = protocol.read_frame(self.sock)
+        if not response.get("ok"):
+            raise protocol.rehydrate_error(response.get("error") or {})
+        return response
+
+    # -- SQL ------------------------------------------------------------------
+
+    def execute(self, sql: str, max_rows: Optional[int] = None) -> WireResult:
+        payload: Dict[str, Any] = {"op": "QUERY", "sql": sql}
+        if max_rows is not None:
+            payload["max_rows"] = max_rows
+        return WireResult(self, self.request(**payload))
+
+    def prepare(self, sql: str) -> RemotePrepared:
+        payload = self.request(op="PREPARE", sql=sql)
+        return RemotePrepared(self, payload["stmt"], payload.get("n_params", 0))
+
+    def begin(self) -> None:
+        self.execute("BEGIN")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    # -- XNF ------------------------------------------------------------------
+
+    def take(self, text: str) -> RemoteCO:
+        """Run an XNF TAKE query; the CO stays open in the wire session."""
+        payload = self.request(op="XNF", text=text)
+        if "co" not in payload:
+            raise CursorError("XNF statement did not produce a composite object")
+        return RemoteCO(self, payload)
+
+    def xnf(self, text: str) -> Dict[str, Any]:
+        """Run any XNF statement; returns the raw response payload."""
+        return self.request(op="XNF", text=text)
+
+    def explain_analyze(self, text: str) -> str:
+        return self.request(op="XNF_EXPLAIN", text=text)["text"]
+
+    # -- session options ------------------------------------------------------
+
+    def set_statement_timeout(self, seconds: Optional[float]) -> None:
+        self.request(op="SET", option="statement_timeout_s", value=seconds)
+
+    def ping(self) -> float:
+        return float(self.request(op="PING")["time_s"])
+
+    # -- retry loop (mirrors Database.run_retryable) ---------------------------
+
+    def run_retryable(
+        self,
+        fn,
+        *,
+        retries: int = 5,
+        backoff_s: Optional[float] = None,
+        max_backoff_s: float = 0.25,
+        jitter: float = 0.5,
+        rng: Optional[random.Random] = None,
+    ) -> Any:
+        """Run *fn* retrying retryable wire errors with backoff + jitter.
+
+        Same contract as :meth:`Database.run_retryable`, driven by the
+        retry metadata the server serialized: when *backoff_s* is None the
+        first delay is the error's own ``backoff_hint_s`` (an
+        :class:`AdmissionError`'s 20 ms vs. a conflict's 2 ms), then
+        doubles.  Any open remote transaction is rolled back before each
+        retry so every attempt starts on a fresh snapshot.
+        """
+        rng = rng if rng is not None else random.Random()
+        delay = backoff_s
+        for attempt in range(retries + 1):
+            try:
+                return fn()
+            except ReproError as err:
+                if not getattr(err, "retryable", False):
+                    raise
+                try:
+                    self.rollback()
+                except (ReproError, OSError):
+                    pass
+                if attempt >= retries:
+                    raise
+                if delay is None:
+                    delay = getattr(err, "backoff_hint_s", None) or 0.002
+                sleep_s = min(delay, max_backoff_s) * (1.0 + jitter * rng.random())
+                if sleep_s > 0:
+                    time.sleep(sleep_s)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            self.request(op="CLOSE")
+        except (ReproError, OSError):
+            pass
+        self._closed = True
+        self.sock.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def connect(host: str = "127.0.0.1", port: int = 7474, **kwargs: Any) -> WireClient:
+    """Convenience constructor mirroring ``Database.connect``."""
+    return WireClient(host, port, **kwargs)

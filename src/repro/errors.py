@@ -23,6 +23,11 @@ class ReproError(Exception):
     #: victims, serialization conflicts, admission rejects, transient I/O)
     retryable = False
 
+    #: suggested initial backoff before retrying, in seconds (None when the
+    #: error is not retryable).  The wire protocol serializes this alongside
+    #: ``retryable`` so remote clients back off like in-process callers.
+    backoff_hint_s: "float | None" = None
+
 
 class SQLError(ReproError):
     """Base class for errors raised by the relational engine."""
@@ -70,6 +75,7 @@ class DeadlockError(TransactionError):
     """
 
     retryable = True
+    backoff_hint_s = 0.002
 
 
 class SerializationError(TransactionError):
@@ -81,6 +87,7 @@ class SerializationError(TransactionError):
     """
 
     retryable = True
+    backoff_hint_s = 0.002
 
 
 class AdmissionError(TransactionError):
@@ -88,9 +95,31 @@ class AdmissionError(TransactionError):
 
     The configured ``max_concurrent_txns`` ceiling was reached; retry
     after backing off instead of queueing into a livelock.
+
+    The backoff hint is an order of magnitude above the conflict errors':
+    an admission reject means the whole system is at capacity, so hammering
+    it on a 2 ms cadence would only prolong the overload.
     """
 
     retryable = True
+    backoff_hint_s = 0.02
+
+
+class AuthError(SQLError):
+    """Wire-protocol authentication failure (bad or missing token)."""
+
+
+class ServerShutdownError(TransactionError):
+    """The wire server is draining for shutdown.
+
+    In-flight statements are allowed to finish, but new work is refused.
+    Retryable because the standard deployment answer is "reconnect and
+    re-run" (against the restarted server or another replica), with a
+    backoff generous enough to ride out a restart.
+    """
+
+    retryable = True
+    backoff_hint_s = 0.05
 
 
 class StorageError(SQLError):
@@ -129,6 +158,7 @@ class IOFaultError(StorageError):
         self.transient = transient
         # instance-level override: only transient faults are retryable
         self.retryable = transient
+        self.backoff_hint_s = 0.001 if transient else None
         super().__init__(message)
 
 

@@ -25,6 +25,8 @@ PR measures against:
 * :mod:`repro.obs.costats` — per-CO instantiation cardinalities and
   fixpoint profiles (``SYS_CO_STATS``).
 * :mod:`repro.obs.export` — JSONL trace exporter (one root span per line).
+* :mod:`repro.obs.network` — wire-server frame/byte counters and live
+  session rows (``SYS_STAT_NETWORK`` / ``SYS_SESSIONS``).
 """
 
 from repro.obs.analyze import OpStats, instrument_plan, render_analyzed
@@ -32,6 +34,7 @@ from repro.obs.costats import COStat, COStatsRegistry
 from repro.obs.export import JsonlTraceExporter
 from repro.obs.feedback import EstimateFeedback, FeedbackRegistry, q_error
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.network import NetworkStats, WireSessionRegistry, WireSessionStats
 from repro.obs.slowlog import SlowQuery, SlowQueryLog
 from repro.obs.statements import StatementStat, StatementStatsRegistry
 from repro.obs.trace import NULL_SPAN, Span, Tracer
@@ -47,6 +50,9 @@ __all__ = [
     "JsonlTraceExporter",
     "MetricsRegistry",
     "NULL_SPAN",
+    "NetworkStats",
+    "WireSessionRegistry",
+    "WireSessionStats",
     "OpStats",
     "SlowQuery",
     "SlowQueryLog",

@@ -34,6 +34,7 @@ from repro.obs.analyze import instrument_plan, render_analyzed
 from repro.obs.costats import COStatsRegistry
 from repro.obs.feedback import FeedbackRegistry
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.network import NetworkStats, WireSessionRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.statements import StatementStatsRegistry
 from repro.obs.trace import Tracer
@@ -135,6 +136,8 @@ class Session:
         self.db = db
         self.isolation = isolation or db.isolation
         self._txn: Optional[Transaction] = None
+        #: per-session statement timeout; None inherits the database default
+        self.statement_timeout_s: Optional[float] = None
 
     def execute(self, sql: str) -> "Result":
         with self._activate():
@@ -186,14 +189,17 @@ class Session:
 
         class _Swap:
             def __enter__(self):
-                self.saved = (session.db._txn, session.db.isolation)
-                session.db._txn = session._txn
-                session.db.isolation = session.isolation
+                db = session.db
+                self.saved = (db._txn, db.isolation, db._timeout_override)
+                db._txn = session._txn
+                db.isolation = session.isolation
+                db._timeout_override = session.statement_timeout_s
                 return session
 
             def __exit__(self, *exc_info):
-                session._txn = session.db._txn
-                session.db._txn, session.db.isolation = self.saved
+                db = session.db
+                session._txn = db._txn
+                db._txn, db.isolation, db._timeout_override = self.saved
                 return False
 
         return _Swap()
@@ -241,7 +247,10 @@ class Database:
         self.catalog.mvcc = self.mvcc
         self.txn_manager.mvcc = self.mvcc
         self.buffer_pool.pre_write_hook = self._wal_ahead_of
-        self.statement_timeout_s = statement_timeout_s
+        #: database-wide default; wire sessions may override it per-thread
+        #: through the ``statement_timeout_s`` property (Session swaps the
+        #: override in and out alongside the transaction pointer).
+        self._default_statement_timeout_s = statement_timeout_s
         self.io_retries = io_retries
         self.io_retry_backoff_s = io_retry_backoff_s
         self.enable_rewrite = enable_rewrite
@@ -295,6 +304,11 @@ class Database:
         #: serializes XNF CO extractions (their scratch worktables have
         #: stable names); see XNFCompiler.instantiate
         self.xnf_mutex = threading.RLock()
+        #: wire-server frame/byte counters (behind SYS_STAT_NETWORK); zero
+        #: forever unless a repro.server.XNFServer serves this database
+        self.network = NetworkStats()
+        #: live wire sessions (behind SYS_SESSIONS)
+        self.wire_sessions = WireSessionRegistry()
         install_sys_tables(self)
 
     # -- per-thread session state --------------------------------------------
@@ -314,6 +328,30 @@ class Database:
     @isolation.setter
     def isolation(self, value: Optional[IsolationLevel]) -> None:
         self._tls.isolation = value
+
+    @property
+    def statement_timeout_s(self) -> Optional[float]:
+        """Effective statement timeout for the calling thread.
+
+        A per-session override (installed by :class:`Session` /
+        the wire server) wins over the database-wide default.
+        """
+        override = getattr(self._tls, "timeout_override", None)
+        if override is not None:
+            return override
+        return self._default_statement_timeout_s
+
+    @statement_timeout_s.setter
+    def statement_timeout_s(self, value: Optional[float]) -> None:
+        self._default_statement_timeout_s = value
+
+    @property
+    def _timeout_override(self) -> Optional[float]:
+        return getattr(self._tls, "timeout_override", None)
+
+    @_timeout_override.setter
+    def _timeout_override(self, value: Optional[float]) -> None:
+        self._tls.timeout_override = value
 
     @property
     def _last_fingerprint(self) -> Optional[str]:
@@ -1359,6 +1397,10 @@ class Database:
             "estimates": {
                 "tracked": len(self.feedback),
                 "evicted": self.feedback.evicted,
+            },
+            "network": {
+                **self.network.snapshot(),
+                "live_sessions": len(self.wire_sessions),
             },
         }
 

@@ -24,6 +24,9 @@ The catalog of tables:
 ``SYS_TRACE_SPANS``      flattened recent span trees with parent_span_id
 ``SYS_CO_STATS``         per-CO node/edge cardinalities + fixpoint profile
 ``SYS_STAT_ESTIMATES``   optimizer estimate vs. actual rows with q-error
+``SYS_SESSIONS``         live wire-server sessions (state, statements,
+                         open COs/cursors, age/idle)
+``SYS_STAT_NETWORK``     wire-server frame/byte/error counters (one row)
 ======================  =====================================================
 """
 
@@ -47,6 +50,8 @@ SYS_TABLE_NAMES = (
     "SYS_TRACE_SPANS",
     "SYS_CO_STATS",
     "SYS_STAT_ESTIMATES",
+    "SYS_SESSIONS",
+    "SYS_STAT_NETWORK",
 )
 
 
@@ -193,6 +198,17 @@ def _co_stats_provider(db) -> Callable[[], Iterable[Tuple]]:
 
 def _estimates_provider(db) -> Callable[[], Iterable[Tuple]]:
     return db.feedback.rows_snapshot
+
+
+def _wire_sessions_provider(db) -> Callable[[], Iterable[Tuple]]:
+    return db.wire_sessions.rows_snapshot
+
+
+_NETWORK_KEYS = (
+    "connections_opened", "connections_active", "connections_refused",
+    "frames_in", "frames_out", "bytes_in", "bytes_out",
+    "errors_sent", "retryable_errors_sent", "protocol_errors",
+)
 
 
 def build_sys_tables(db) -> List[VirtualTable]:
@@ -351,6 +367,40 @@ def build_sys_tables(db) -> List[VirtualTable]:
                 ("samples", INTEGER),
             ),
             _estimates_provider(db),
+        ),
+        VirtualTable(
+            "SYS_SESSIONS",
+            _columns(
+                ("session_id", INTEGER),
+                ("peer", VARCHAR()),
+                ("state", VARCHAR()),
+                ("statements", INTEGER),
+                ("rows_sent", INTEGER),
+                ("errors", INTEGER),
+                ("retryable_errors", INTEGER),
+                ("cos_open", INTEGER),
+                ("cursors_open", INTEGER),
+                ("in_txn", BOOLEAN),
+                ("age_ms", FLOAT),
+                ("idle_ms", FLOAT),
+            ),
+            _wire_sessions_provider(db),
+        ),
+        VirtualTable(
+            "SYS_STAT_NETWORK",
+            _columns(
+                ("connections_opened", INTEGER),
+                ("connections_active", INTEGER),
+                ("connections_refused", INTEGER),
+                ("frames_in", INTEGER),
+                ("frames_out", INTEGER),
+                ("bytes_in", INTEGER),
+                ("bytes_out", INTEGER),
+                ("errors_sent", INTEGER),
+                ("retryable_errors_sent", INTEGER),
+                ("protocol_errors", INTEGER),
+            ),
+            _wide_row_provider(db.network.snapshot, _NETWORK_KEYS),
         ),
     ]
 

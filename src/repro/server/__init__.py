@@ -1,0 +1,26 @@
+"""Wire server: network access to the shared database (Fig. 7, networked).
+
+:mod:`repro.server.protocol` defines the length-prefixed JSON frame format
+and the lossless error-taxonomy serialization; :mod:`repro.server.server`
+runs the asyncio listener that multiplexes wire sessions over one
+:class:`~repro.relational.engine.Database`.  ``python -m repro.server``
+boots a demo instance; :mod:`repro.client` is the matching client/REPL.
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    RemoteServerError,
+)
+from repro.server.server import DEFAULT_FETCH_SIZE, ServerThread, XNFServer
+
+__all__ = [
+    "DEFAULT_FETCH_SIZE",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RemoteServerError",
+    "ServerThread",
+    "XNFServer",
+]

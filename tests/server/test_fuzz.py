@@ -1,0 +1,214 @@
+"""Protocol fuzz tests: a hostile or broken client must never take the
+server down, corrupt another session, or leak its own session entry.
+
+Every scenario drives raw bytes at the socket (no WireClient involved),
+then proves the blast radius with a *healthy* client: the server still
+answers queries and ``SYS_SESSIONS`` drops back to just the prober.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.client.client import WireClient
+from repro.server import protocol
+
+
+def _raw(port: int) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", port), 10)
+    sock.settimeout(10)
+    hello = protocol.read_frame(sock)  # consume the greeting
+    assert hello["ok"]
+    return sock
+
+
+def _assert_server_healthy(port: int, expected_sessions: int = 1) -> None:
+    """The definitive post-fuzz check: fresh sessions work, nothing leaked."""
+    deadline = time.monotonic() + 5
+    while True:
+        with WireClient(port=port) as client:
+            assert client.execute("SELECT COUNT(*) FROM DEPT").scalar() == 3
+            live = client.execute(
+                "SELECT COUNT(*) FROM SYS_SESSIONS"
+            ).scalar()
+            if live == expected_sessions or time.monotonic() > deadline:
+                assert live == expected_sessions
+                return
+        time.sleep(0.01)  # give the server a beat to reap the bad session
+
+
+class TestMalformedFrames:
+    def test_junk_bytes(self, wire_server):
+        sock = _raw(wire_server.port)
+        sock.sendall(b"\xde\xad\xbe\xef" * 64)
+        # server answers with a ProtocolError frame, then closes
+        response = protocol.read_frame(sock)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        assert sock.recv(1) == b""  # EOF: connection was closed
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+    def test_oversized_length_prefix(self, wire_server):
+        sock = _raw(wire_server.port)
+        sock.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+        response = protocol.read_frame(sock)
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        assert sock.recv(1) == b""
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+    def test_zero_length_frame(self, wire_server):
+        sock = _raw(wire_server.port)
+        sock.sendall(struct.pack(">I", 0))
+        response = protocol.read_frame(sock)
+        assert response["error"]["type"] == "ProtocolError"
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+    def test_valid_length_invalid_json(self, wire_server):
+        sock = _raw(wire_server.port)
+        body = b"\xff\xfe this is not json"
+        sock.sendall(struct.pack(">I", len(body)) + body)
+        response = protocol.read_frame(sock)
+        assert response["error"]["type"] == "ProtocolError"
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+    def test_json_array_body(self, wire_server):
+        sock = _raw(wire_server.port)
+        body = b"[1, 2, 3]"
+        sock.sendall(struct.pack(">I", len(body)) + body)
+        response = protocol.read_frame(sock)
+        assert response["error"]["type"] == "ProtocolError"
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+    def test_frame_without_op(self, wire_server):
+        # structurally valid JSON object, semantically empty: the session
+        # survives (only stream-level damage closes the connection)
+        sock = _raw(wire_server.port)
+        protocol.write_frame(sock, {"not_op": "QUERY"})
+        response = protocol.read_frame(sock)
+        assert response["ok"] is False
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+
+class TestTruncation:
+    def test_truncated_length_prefix(self, wire_server):
+        sock = _raw(wire_server.port)
+        sock.sendall(b"\x00\x00")  # half a prefix, then vanish
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+    def test_truncated_body(self, wire_server):
+        sock = _raw(wire_server.port)
+        frame = protocol.encode_frame({"op": "QUERY", "sql": "SELECT 1"})
+        sock.sendall(frame[: len(frame) - 5])  # drop the tail
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+
+    def test_mid_statement_disconnect(self, wire_server):
+        """Client dies while its statement is executing server-side: the
+        statement's transaction rolls back and the session is reaped."""
+        sock = _raw(wire_server.port)
+        protocol.write_frame(sock, {"op": "QUERY", "sql": "BEGIN"})
+        assert protocol.read_frame(sock)["ok"]
+        protocol.write_frame(
+            sock,
+            {"op": "QUERY",
+             "sql": "UPDATE DEPT SET budget = 0.0 WHERE dno = 1"},
+        )
+        assert protocol.read_frame(sock)["ok"]
+        # a long statement, then hang up without reading the answer
+        protocol.write_frame(
+            sock,
+            {"op": "QUERY",
+             "sql": "SELECT d1.dno FROM DEPT d1, DEPT d2, EMP e1, EMP e2"},
+        )
+        sock.close()
+        _assert_server_healthy(wire_server.port)
+        # the orphaned transaction must have rolled back
+        with WireClient(port=wire_server.port) as client:
+            assert client.execute(
+                "SELECT budget FROM DEPT WHERE dno = 1"
+            ).scalar() == 1000.0
+
+
+class TestIsolation:
+    def test_bad_session_does_not_disturb_good_one(self, wire_server):
+        """A healthy session with an open CO keeps working while a fuzzer
+        trashes its own connection next door."""
+        with WireClient(port=wire_server.port) as good:
+            from repro.workloads.company import FIGURE1_CO
+            co = good.take(FIGURE1_CO)
+            sock = _raw(wire_server.port)
+            sock.sendall(b"garbage garbage garbage!")
+            response = protocol.read_frame(sock)
+            assert response["error"]["type"] == "ProtocolError"
+            sock.close()
+            # the good session's CO survived the neighbour's demise
+            names = sorted(row["ename"] for row in co.cursor("Xemp"))
+            assert names == ["e1", "e2", "e4", "e5", "e6"]
+            assert good.execute("SELECT COUNT(*) FROM DEPT").scalar() == 3
+        _assert_server_healthy(wire_server.port)
+
+    def test_fuzz_barrage_then_service(self, wire_server):
+        """Many concurrent garbage connections; the server survives them
+        all and then serves real clients."""
+        payloads = [
+            b"\x00" * 7,
+            b"\xff\xff\xff\xff",
+            struct.pack(">I", 16) + b"short",
+            protocol.encode_frame({"op": 42}),
+            b"GET / HTTP/1.1\r\n\r\n",
+        ]
+        errors = []
+
+        def fuzz(data: bytes) -> None:
+            try:
+                sock = _raw(wire_server.port)
+                sock.sendall(data)
+                try:
+                    sock.recv(4096)
+                except OSError:
+                    pass
+                sock.close()
+            except Exception as exc:  # noqa: BLE001 - must not happen
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=fuzz, args=(p,))
+            for p in payloads * 3
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        _assert_server_healthy(wire_server.port)
+
+    def test_protocol_errors_counted(self, wire_server):
+        sock = _raw(wire_server.port)
+        sock.sendall(b"\xba\xad\xf0\x0d")
+        protocol.read_frame(sock)
+        sock.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            if wire_server.server.db.network.snapshot()["protocol_errors"]:
+                break
+            time.sleep(0.01)
+        assert wire_server.server.db.network.snapshot()["protocol_errors"] >= 1
+
+
+@pytest.mark.parametrize("length", [1, 3])
+def test_tiny_partial_prefix_then_eof(wire_server, length):
+    sock = _raw(wire_server.port)
+    sock.sendall(b"\x01" * length)
+    sock.close()
+    _assert_server_healthy(wire_server.port)

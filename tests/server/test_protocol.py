@@ -1,0 +1,130 @@
+"""Wire-protocol unit tests: frame codec and lossless error taxonomy."""
+
+import struct
+
+import pytest
+
+from repro.errors import (
+    AdmissionError,
+    CatalogError,
+    DeadlockError,
+    IOFaultError,
+    ParseError,
+    ReproError,
+    SerializationError,
+    ServerShutdownError,
+)
+from repro.server import protocol
+from repro.server.protocol import ProtocolError, RemoteServerError
+
+
+class TestFrameCodec:
+    def test_roundtrip(self):
+        payload = {"op": "QUERY", "sql": "SELECT 1", "nested": {"a": [1, 2]}}
+        data = protocol.encode_frame(payload)
+        length = protocol.decode_length(data[:4])
+        assert length == len(data) - 4
+        assert protocol.decode_body(data[4:]) == payload
+
+    def test_length_prefix_is_big_endian(self):
+        data = protocol.encode_frame({"x": 1})
+        assert struct.unpack(">I", data[:4])[0] == len(data) - 4
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_length(b"\x00\x00\x00\x00")
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_length(b"\x00\x01")
+
+    def test_oversized_length_rejected(self):
+        huge = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(ProtocolError):
+            protocol.decode_length(huge)
+
+    def test_non_json_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_body(b"\xff\xfe not json")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode_body(b"[1, 2, 3]")
+
+    def test_oversized_outgoing_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            protocol.encode_frame({"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)})
+
+
+class TestErrorTaxonomyRoundTrip:
+    """Satellite 6: retry metadata must survive the wire losslessly."""
+
+    @pytest.mark.parametrize("cls", [SerializationError, DeadlockError,
+                                     AdmissionError, ServerShutdownError])
+    def test_retryable_class_roundtrip(self, cls):
+        err = cls("boom")
+        back = protocol.rehydrate_error(protocol.error_payload(err))
+        assert type(back) is cls
+        assert isinstance(back, ReproError)
+        assert back.retryable is True
+        assert back.backoff_hint_s == cls.backoff_hint_s
+        assert str(back) == "boom"
+        assert back.remote is True
+
+    def test_admission_backs_off_longer_than_conflicts(self):
+        # the wire must preserve the taxonomy's backoff ordering, not
+        # flatten it: capacity rejects wait 10x longer than row conflicts
+        adm = protocol.error_payload(AdmissionError("full"))
+        ser = protocol.error_payload(SerializationError("conflict"))
+        assert adm["backoff_s"] > ser["backoff_s"]
+
+    def test_non_retryable_roundtrip(self):
+        err = CatalogError("unknown table NOPE")
+        back = protocol.rehydrate_error(protocol.error_payload(err))
+        assert type(back) is CatalogError
+        assert back.retryable is False
+        assert back.backoff_hint_s is None
+
+    def test_parse_error_position_survives(self):
+        err = ParseError("unexpected token", line=3, column=14)
+        back = protocol.rehydrate_error(protocol.error_payload(err))
+        assert type(back) is ParseError
+        assert back.line == 3
+        assert back.column == 14
+
+    def test_transient_iofault_instance_override(self):
+        err = IOFaultError("disk glitch", transient=True)
+        back = protocol.rehydrate_error(protocol.error_payload(err))
+        assert type(back) is IOFaultError
+        assert back.retryable is True
+        assert back.transient is True
+        assert back.backoff_hint_s == 0.001
+
+    def test_persistent_iofault_instance_override(self):
+        # instance-level override must win over any class default
+        err = IOFaultError("disk gone", transient=False)
+        back = protocol.rehydrate_error(protocol.error_payload(err))
+        assert back.retryable is False
+        assert back.transient is False
+        assert back.backoff_hint_s is None
+
+    def test_unknown_type_degrades_to_remote_error(self):
+        payload = {"type": "FutureFancyError", "message": "from v99",
+                   "retryable": True, "backoff_s": 0.5}
+        back = protocol.rehydrate_error(payload)
+        assert isinstance(back, RemoteServerError)
+        assert back.retryable is True  # server's contract still honored
+        assert back.backoff_hint_s == 0.5
+
+    def test_taxonomy_registry_covers_hierarchy(self):
+        for name in ("SerializationError", "AdmissionError", "DeadlockError",
+                     "CatalogError", "ParseError", "ProtocolError"):
+            assert name in protocol.ERROR_TYPES
+
+    def test_payload_is_json_clean(self):
+        # every error payload must survive the actual frame codec
+        for cls in (SerializationError, AdmissionError, CatalogError):
+            frame = protocol.encode_frame(protocol.err_frame(cls("x")))
+            body = protocol.decode_body(frame[4:])
+            assert body["ok"] is False
+            assert body["error"]["type"] == cls.__name__
