@@ -45,6 +45,18 @@ And the MVCC concurrency ledger (``BENCH_concurrency.json``, written by
   with the maximum writer count attached (readers never block on locks);
 * a missing concurrency ledger fails the gate.
 
+And the sharding ledger (``BENCH_sharding.json``, written by
+``bench_sharding.py``):
+
+* **sharded speedup** — every gated workload (CO extraction at 10x data)
+  must show the 4-shard database at least ``SHARD_SPEEDUP_FLOOR``
+  (default 2.0) times faster than the unsharded one — the work reduction
+  from partition-bound/zone-map shard pruning, not thread parallelism;
+* **equivalence** — the ledger's ``equivalent`` flag must be true: the
+  sharded extraction was canonicalised and compared bit-for-bit against
+  the unsharded result before any timing was trusted;
+* a missing sharding ledger fails the gate.
+
 And the wire-server ledger (``BENCH_server.json``, written by
 ``bench_server.py``):
 
@@ -77,6 +89,7 @@ OBSERVABILITY_LEDGER_PATH = HERE.parent / "BENCH_observability.json"
 VECTORIZED_LEDGER_PATH = HERE.parent / "BENCH_vectorized.json"
 CONCURRENCY_LEDGER_PATH = HERE.parent / "BENCH_concurrency.json"
 SERVER_LEDGER_PATH = HERE.parent / "BENCH_server.json"
+SHARDING_LEDGER_PATH = HERE.parent / "BENCH_sharding.json"
 BASELINE_PATH = HERE / "baseline.json"
 
 TOLERANCE = float(os.environ.get("PERF_TOLERANCE", "0.30"))
@@ -93,6 +106,7 @@ SERVER_P99_BUDGET_MS = float(os.environ.get("SERVER_P99_BUDGET_MS", "5000.0"))
 SERVER_THROUGHPUT_FLOOR = float(
     os.environ.get("SERVER_THROUGHPUT_FLOOR", "10.0")
 )
+SHARD_SPEEDUP_FLOOR = float(os.environ.get("SHARD_SPEEDUP_FLOOR", "2.0"))
 
 #: Workloads the vectorized ledger must contain — a silently-dropped
 #: workload would otherwise pass the floor vacuously.
@@ -100,6 +114,9 @@ VEC_REQUIRED_WORKLOADS = ("oo1_setwise_traversal", "xnf_semantic_rewrite")
 
 #: Workloads the concurrency ledger must contain, same rationale.
 MVCC_REQUIRED_WORKLOADS = ("e1_extraction_row", "oo1_traversal_batch")
+
+#: Workloads the sharding ledger must contain, same rationale.
+SHARD_REQUIRED_WORKLOADS = ("co_extraction", "oo1_setwise_traversal")
 
 
 def load(path: pathlib.Path) -> dict:
@@ -360,6 +377,51 @@ def check_server(ledger: dict) -> int:
     return 0
 
 
+def check_sharding(ledger: dict) -> int:
+    """Gate the sharding ledger (sharded speedup floor + equivalence)."""
+    failures = []
+    if not ledger.get("equivalent", False):
+        failures.append(
+            "sharding: sharded and unsharded extractions were not verified "
+            "equivalent (ledger's 'equivalent' flag is false)"
+        )
+    workloads = ledger.get("workloads", {})
+    for name in SHARD_REQUIRED_WORKLOADS:
+        if name not in workloads:
+            failures.append(f"sharding: workload {name} missing from ledger")
+    for name, stats in sorted(workloads.items()):
+        speedup = stats.get("speedup")
+        if speedup is None:
+            failures.append(f"sharding: workload {name} lacks a speedup")
+            continue
+        if not stats.get("gated", False):
+            print(
+                f"sharding: {name} {speedup:.2f}x "
+                f"({stats.get('shards', '?')} shards; report-only)"
+            )
+            continue
+        verdict = "FAIL" if speedup < SHARD_SPEEDUP_FLOOR else "ok"
+        print(
+            f"sharding: {name} {speedup:.2f}x "
+            f"(1 shard {stats.get('unsharded_s', float('nan')):.3f}s, "
+            f"{stats.get('shards', '?')} shards "
+            f"{stats.get('sharded_s', float('nan')):.3f}s; "
+            f"floor {SHARD_SPEEDUP_FLOOR:.1f}x) {verdict}"
+        )
+        if speedup < SHARD_SPEEDUP_FLOOR:
+            failures.append(
+                f"sharding: {name} speedup {speedup:.2f}x below the "
+                f"{SHARD_SPEEDUP_FLOOR:.1f}x floor"
+            )
+    if failures:
+        print("\nsharding gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("sharding gate passed")
+    return 0
+
+
 def main(argv) -> int:
     ledger = load(LEDGER_PATH)
     if "--update" in argv:
@@ -370,7 +432,15 @@ def main(argv) -> int:
     vec_status = check_vectorized(load(VECTORIZED_LEDGER_PATH))
     conc_status = check_concurrency(load(CONCURRENCY_LEDGER_PATH))
     server_status = check_server(load(SERVER_LEDGER_PATH))
-    return status or obs_status or vec_status or conc_status or server_status
+    shard_status = check_sharding(load(SHARDING_LEDGER_PATH))
+    return (
+        status
+        or obs_status
+        or vec_status
+        or conc_status
+        or server_status
+        or shard_status
+    )
 
 
 if __name__ == "__main__":

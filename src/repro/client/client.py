@@ -254,11 +254,16 @@ class WireClient:
         """Run *fn* retrying retryable wire errors with backoff + jitter.
 
         Same contract as :meth:`Database.run_retryable`, driven by the
-        retry metadata the server serialized: when *backoff_s* is None the
-        first delay is the error's own ``backoff_hint_s`` (an
-        :class:`AdmissionError`'s 20 ms vs. a conflict's 2 ms), then
-        doubles.  Any open remote transaction is rolled back before each
-        retry so every attempt starts on a fresh snapshot.
+        retry metadata the server serialized: when *backoff_s* is None or
+        non-positive the first delay is the error's own ``backoff_hint_s``
+        (an :class:`AdmissionError`'s 20 ms vs. a conflict's 2 ms), then
+        doubles.  A caller-supplied ``backoff_s=0`` used to stick at zero
+        forever (``0 * 2 == 0``) and busy-spin through every retry; it now
+        re-arms from the hint like ``None``.  The post-jitter sleep is
+        clamped so *max_backoff_s* really is the maximum (jitter could
+        previously overshoot it by up to 50%).  Any open remote transaction
+        is rolled back before each retry so every attempt starts on a fresh
+        snapshot.
         """
         rng = rng if rng is not None else random.Random()
         delay = backoff_s
@@ -274,9 +279,10 @@ class WireClient:
                     pass
                 if attempt >= retries:
                     raise
-                if delay is None:
+                if delay is None or delay <= 0:
                     delay = getattr(err, "backoff_hint_s", None) or 0.002
                 sleep_s = min(delay, max_backoff_s) * (1.0 + jitter * rng.random())
+                sleep_s = min(sleep_s, max_backoff_s)
                 if sleep_s > 0:
                     time.sleep(sleep_s)
                 delay *= 2

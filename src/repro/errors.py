@@ -205,3 +205,11 @@ class UpdatabilityError(XNFError):
 
 class CursorError(XNFError):
     """Illegal cursor operation (closed cursor, unpositioned fetch)."""
+
+
+class HandleEvictedError(CursorError):
+    """A server-side handle (prepared statement, fetch cursor, composite
+    object, CO cursor) was evicted by the session's handle cap before this
+    access.  Deliberately **not** retryable: the handle is gone for good, the
+    client must re-create it (re-PREPARE / re-run the query), not replay the
+    same frame."""

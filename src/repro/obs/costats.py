@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 
 class COStat:
@@ -19,7 +19,7 @@ class COStat:
 
     __slots__ = (
         "name", "instantiations", "rounds", "queries", "duration_s",
-        "nodes", "edges",
+        "nodes", "edges", "shards",
     )
 
     def __init__(self, name: str):
@@ -30,6 +30,10 @@ class COStat:
         self.duration_s = 0.0
         self.nodes: Dict[str, int] = {}
         self.edges: Dict[str, int] = {}
+        #: component name -> shard id -> rows that shard contributed (only
+        #: filled when the extraction ran sharded scatter/gather; skew shows
+        #: up as imbalance between the per-shard cardinalities)
+        self.shards: Dict[str, Dict[int, int]] = {}
 
 
 class COStatsRegistry:
@@ -49,6 +53,7 @@ class COStatsRegistry:
         rounds: int,
         queries: int,
         duration_s: float,
+        shards: Optional[Dict[str, Dict[int, int]]] = None,
     ) -> None:
         key = name.upper()
         with self._lock:
@@ -66,6 +71,11 @@ class COStatsRegistry:
             stat.duration_s = duration_s
             stat.nodes = dict(node_counts)
             stat.edges = dict(edge_counts)
+            stat.shards = (
+                {component: dict(per_shard) for component, per_shard in shards.items()}
+                if shards
+                else {}
+            )
 
     def entries(self) -> List[COStat]:
         with self._lock:
@@ -86,6 +96,12 @@ class COStatsRegistry:
                     stat.name, edge, "edge", cardinality,
                     stat.rounds, stat.queries, duration_ms, stat.instantiations,
                 ))
+            for component, per_shard in stat.shards.items():
+                for shard_id, cardinality in sorted(per_shard.items()):
+                    out.append((
+                        stat.name, f"{component}#s{shard_id}", "shard", cardinality,
+                        stat.rounds, stat.queries, duration_ms, stat.instantiations,
+                    ))
         return out
 
     def clear(self) -> None:

@@ -18,6 +18,7 @@ import threading
 from repro.errors import CatalogError, ExecutionError, IntegrityError, PageNotFoundError
 from repro.relational.indexes import BTreeIndex, HashIndex, Index
 from repro.relational.storage import BufferPool, HeapFile, RID
+from repro.relational.storage.sharded import PartitionSpec, ShardedHeap
 from repro.relational.types import SQLType, sort_key
 
 
@@ -65,6 +66,10 @@ class TableStats:
 class Table:
     """A base table: schema + heap file + indexes + constraints."""
 
+    #: set on :class:`ShardedTable` / :class:`ShardView` subclasses
+    is_sharded = False
+    is_shard_view = False
+
     def __init__(self, name: str, columns: Sequence[Column], buffer_pool: BufferPool):
         self.name = name
         self.columns = list(columns)
@@ -75,6 +80,14 @@ class Table:
         self.indexes: Dict[str, Index] = {}
         self.stats = TableStats()
         self._catalog: Optional["Catalog"] = None
+        #: MVCC version-store key: shard views read their parent's entries
+        #: (writes always go through the parent facade), every other table
+        #: reads its own.
+        self.mvcc_name = name
+        #: optional ``(rid, row) -> bool`` filter applied to version-store
+        #: candidates; shard views install one so cross-shard versions of the
+        #: shared parent key are not double-counted.
+        self._mvcc_accept = None
         pk_columns = [col.name for col in columns if col.primary_key]
         if pk_columns:
             self.add_index(f"pk_{name}", pk_columns, unique=True, kind="btree")
@@ -384,7 +397,7 @@ class Table:
         return self._scan_mvcc(*state)
 
     def _scan_mvcc(self, store, snap) -> Iterator[Tuple[RID, Tuple[Any, ...]]]:
-        name = self.name
+        name = self.mvcc_name
         # Bound lock-free clean check (see VersionStore.dirty for why no
         # lock is needed); bound once because small-table scans are hot.
         entries_of = store._tables.get
@@ -404,7 +417,10 @@ class Table:
         # rows absent from the heap (committed or pending deletes) whose
         # images are still visible to this snapshot
         if entries_of(name):
-            yield from store.candidates(name, snap, seen, seen_pages)
+            accept = self._mvcc_accept
+            for rid, image in store.candidates(name, snap, seen, seen_pages):
+                if accept is None or accept(rid, image):
+                    yield rid, image
 
     def scan_row_chunks(self) -> Iterator[List[Tuple[Any, ...]]]:
         """Row chunks for the vectorized scan (page-at-a-time on the fast
@@ -415,7 +431,7 @@ class Table:
         return self._scan_chunks_mvcc(*state)
 
     def _scan_chunks_mvcc(self, store, snap) -> Iterator[List[Tuple[Any, ...]]]:
-        name = self.name
+        name = self.mvcc_name
         entries_of = store._tables.get  # lock-free, see VersionStore.dirty
         seen: set = set()
         seen_pages: set = set()
@@ -437,8 +453,11 @@ class Table:
             if rows:
                 yield rows
         if entries_of(name):
+            accept = self._mvcc_accept
             extra = [
-                image for _rid, image in store.candidates(name, snap, seen, seen_pages)
+                image
+                for rid, image in store.candidates(name, snap, seen, seen_pages)
+                if accept is None or accept(rid, image)
             ]
             if extra:
                 yield extra
@@ -459,7 +478,7 @@ class Table:
         except (ExecutionError, PageNotFoundError):
             # gone from the heap; an older committed image may still apply
             heap_row = None
-        return store.resolve(self.name, rid, heap_row, snap)
+        return store.resolve(self.mvcc_name, rid, heap_row, snap)
 
     def truncate(self) -> None:
         """Drop all rows but keep the schema and index definitions.
@@ -507,6 +526,114 @@ class Table:
         if self._catalog is not None:
             self._catalog.bump_version(self.name)
         return stats
+
+
+class ShardedTable(Table):
+    """A table whose heap is hash/range-partitioned into N shards.
+
+    The full read/write API of :class:`Table` is inherited unchanged: the
+    :class:`~repro.relational.storage.sharded.ShardedHeap` routes every heap
+    operation to the owning shard, and indexes (which key on globally unique
+    RIDs from the shared buffer pool) span all shards.  The per-shard child
+    heaps are additionally exposed as read-only :class:`ShardView` tables so
+    the XNF scatter stage can target one shard with ordinary SQL.
+    """
+
+    is_sharded = True
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        buffer_pool: BufferPool,
+        partition: PartitionSpec,
+    ):
+        super().__init__(name, columns, buffer_pool)
+        partition.bind(self.column_positions)
+        self.partition = partition
+        self.heap = ShardedHeap(name, buffer_pool, partition)
+        self.shard_views: List["ShardView"] = [
+            ShardView(self, shard_id) for shard_id in range(partition.num_shards)
+        ]
+
+    def shard_view_name(self, shard_id: int) -> str:
+        return f"{self.name}__S{shard_id}"
+
+
+class ShardView(Table):
+    """Read-only window onto one shard of a :class:`ShardedTable`.
+
+    Registered in the catalog as a real (non-virtual) table so per-shard
+    generated queries stay plan-cacheable; constraints and indexes are
+    stripped (all DML goes through the parent facade, which owns them).
+    Under MVCC the view resolves against the *parent's* version-store
+    entries — filtered to this shard by physical page ownership, falling
+    back to partition routing for images whose row left the heap.
+    """
+
+    is_shard_view = True
+
+    def __init__(self, parent: ShardedTable, shard_id: int):
+        # Deliberately no super().__init__(): the view shares the parent's
+        # buffer pool pages via the child heap and must not allocate a heap
+        # or pk index of its own.
+        self.name = parent.shard_view_name(shard_id)
+        self.parent = parent
+        self.shard_id = shard_id
+        self.columns = [Column(col.name, col.sql_type) for col in parent.columns]
+        self.column_positions = dict(parent.column_positions)
+        self.heap = parent.heap.shards[shard_id]
+        self.indexes: Dict[str, Index] = {}
+        self.stats = TableStats()
+        self._catalog: Optional["Catalog"] = None
+        self.mvcc_name = parent.name
+        sharded_heap = parent.heap
+        spec = parent.partition
+
+        def _accept(rid: RID, row: Tuple[Any, ...]) -> bool:
+            owner = sharded_heap.owner_of(rid.page_id)
+            if owner is not None:
+                return owner == shard_id
+            return spec.route(row) == shard_id
+
+        self._mvcc_accept = _accept
+
+    # -- write path: refused (DML must go through the parent facade) ----------
+
+    def _read_only(self) -> CatalogError:
+        return CatalogError(
+            f"{self.name} is a read-only shard view of {self.parent.name}"
+        )
+
+    def insert(self, row: Sequence[Any], rid_hint: Optional[RID] = None) -> RID:
+        raise self._read_only()
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> List[RID]:
+        raise self._read_only()
+
+    def insert_prechecked(self, row: Tuple[Any, ...], rid: RID) -> None:
+        raise self._read_only()
+
+    def update(self, rid: RID, new_row: Sequence[Any]) -> None:
+        raise self._read_only()
+
+    def delete(self, rid: RID) -> Tuple[Any, ...]:
+        raise self._read_only()
+
+    def truncate(self) -> None:
+        raise self._read_only()
+
+    def add_index(
+        self,
+        index_name: str,
+        column_names: Sequence[str],
+        unique: bool = False,
+        kind: str = "btree",
+    ) -> Index:
+        raise self._read_only()
+
+    def drop_index(self, index_name: str) -> None:
+        raise self._read_only()
 
 
 class VirtualTable:
@@ -700,14 +827,30 @@ class Catalog:
     def is_virtual(self, name: str) -> bool:
         return name.upper() in self.virtual_tables
 
-    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        partition: Optional[PartitionSpec] = None,
+    ) -> Table:
         with self._mutex:
             key = name.upper()
             if key in self.tables or key in self.views or key in self.virtual_tables:
                 raise CatalogError(f"table or view {name} already exists")
-            table = Table(key, columns, self.buffer_pool)
+            if partition is not None:
+                table: Table = ShardedTable(key, columns, self.buffer_pool, partition)
+            else:
+                table = Table(key, columns, self.buffer_pool)
             table._catalog = self
             self.tables[key] = table
+            if isinstance(table, ShardedTable):
+                for view in table.shard_views:
+                    vkey = view.name.upper()
+                    if vkey in self.tables or vkey in self.views or vkey in self.virtual_tables:
+                        raise CatalogError(f"table or view {view.name} already exists")
+                    view._catalog = self
+                    self.tables[vkey] = view
+                    self.bump_version(vkey)
             self.bump_version(key)
             return table
 
@@ -716,11 +859,20 @@ class Catalog:
             key = name.upper()
             if key in self.virtual_tables:
                 raise CatalogError(f"{key} is a system table and cannot be dropped")
+            table = self.tables.get(key)
+            if table is not None and table.is_shard_view:
+                raise CatalogError(
+                    f"{key} is a shard view; drop its parent table instead"
+                )
             table = self.tables.pop(key, None)
             if table is None:
                 if if_exists:
                     return
                 raise CatalogError(f"no table named {name}")
+            if isinstance(table, ShardedTable):
+                for view in table.shard_views:
+                    self.tables.pop(view.name.upper(), None)
+                    self.bump_version(view.name)
             table.heap.truncate()
             self.bump_version(key)
 

@@ -38,7 +38,8 @@ from repro.obs.network import NetworkStats, WireSessionRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.statements import StatementStatsRegistry
 from repro.obs.trace import Tracer
-from repro.relational.catalog import Catalog, Column, Table
+from repro.relational.catalog import Catalog, Column, ShardedTable, Table
+from repro.relational.storage.sharded import PartitionSpec
 from repro.relational.executor.exprs import PlanContext
 from repro.relational.executor.operators import SeqScan
 from repro.relational.executor.vectorized import VecOp
@@ -226,6 +227,7 @@ class Database:
         executor: Optional[str] = None,
         mvcc: Optional[bool] = None,
         max_concurrent_txns: Optional[int] = None,
+        shards: Optional[int] = None,
     ):
         # An existing disk/WAL pair may be passed in: that is how a crashed
         # instance is reopened over its surviving stable storage (see
@@ -265,6 +267,20 @@ class Database:
                 f"unknown executor mode {mode!r} (expected row, auto or batch)"
             )
         self.executor_mode = mode
+        #: default shard count for CREATE TABLE: explicit ``shards=``
+        #: argument, then the REPRO_SHARDS environment variable, else 0
+        #: (unsharded).  Values < 2 mean unsharded.  Sharded heaps are not
+        #: ARIES-durable yet, so persistence (disk/wal reopen) forces the
+        #: default off; ``Database.repartition`` remains available for
+        #: explicit per-table control.
+        if shards is None:
+            try:
+                shards = int(os.environ.get("REPRO_SHARDS", "0"))
+            except ValueError:
+                shards = 0
+        if disk is not None or wal is not None:
+            shards = 0
+        self.default_shards = shards if shards >= 2 else 0
         # Per-thread session state: the current transaction, the session
         # default isolation, and the last statement's fingerprint/cache-hit
         # flags all live in a thread-local, so one Database instance can be
@@ -1070,7 +1086,16 @@ class Database:
             )
             for col in stmt.columns
         ]
-        self.catalog.create_table(stmt.name, columns)
+        partition = None
+        if self.default_shards >= 2:
+            # Auto-shard SQL DDL tables by hash on the primary key (first
+            # column as fallback).  Scratch/internal tables bypass this path
+            # by calling catalog.create_table directly.
+            key_col = next(
+                (col.name for col in columns if col.primary_key), columns[0].name
+            )
+            partition = PartitionSpec("hash", key_col, self.default_shards)
+        self.catalog.create_table(stmt.name, columns, partition=partition)
         return Result()
 
     def _run_create_index(self, stmt: ast.CreateIndexStmt) -> Result:
@@ -1143,7 +1168,7 @@ class Database:
         fn: Callable[[], Any],
         *,
         retries: int = 5,
-        backoff_s: float = 0.002,
+        backoff_s: Optional[float] = None,
         max_backoff_s: float = 0.25,
         jitter: float = 0.5,
         rng: Optional[random.Random] = None,
@@ -1159,6 +1184,14 @@ class Database:
         retry, so *fn* always starts on a fresh snapshot.  After *retries*
         failed re-runs the last error propagates.  Pass a seeded *rng* for
         deterministic backoff in tests.
+
+        ``backoff_s=None`` (the default) seeds the first delay from the
+        error's ``backoff_hint_s`` (falling back to 2 ms); explicit zero or
+        negative values are treated the same — a zero seed would otherwise
+        never grow (``0 * 2 == 0``) and busy-spin the retry budget.  The
+        post-jitter sleep is clamped to ``max_backoff_s`` so jitter cannot
+        overshoot the configured ceiling.  :meth:`WireClient.run_retryable`
+        keeps the identical contract for remote callers.
         """
         rng = rng if rng is not None else random.Random()
         delay = backoff_s
@@ -1176,7 +1209,10 @@ class Database:
                 if attempt >= retries:
                     raise
                 self.metrics.inc("txn.retries")
+                if delay is None or delay <= 0:
+                    delay = getattr(err, "backoff_hint_s", None) or 0.002
                 sleep_s = min(delay, max_backoff_s) * (1.0 + jitter * rng.random())
+                sleep_s = min(sleep_s, max_backoff_s)
                 if sleep_s > 0:
                     time.sleep(sleep_s)
                 delay *= 2
@@ -1189,6 +1225,81 @@ class Database:
         if self.mvcc is None:
             return {"horizon": 0, "pruned": 0, "dropped": 0}
         return self.mvcc.store.vacuum()
+
+    # -- sharding ------------------------------------------------------------------
+
+    def repartition(
+        self,
+        name: str,
+        shards: int,
+        kind: str = "hash",
+        column: Optional[str] = None,
+        bounds: Optional[List[Any]] = None,
+    ) -> Table:
+        """Rebuild table *name* partitioned into *shards* shards
+        (``shards < 2`` rebuilds it unsharded).
+
+        The table is dropped and recreated with the same schema and
+        secondary indexes, and its rows are re-inserted through partition
+        routing.  *column* defaults to the primary key (first column as a
+        fallback); range partitioning without explicit *bounds* derives
+        equi-depth split points from the existing data.  Cheapest on an
+        empty table right after DDL — then every later load routes live.
+        """
+        if self.in_transaction:
+            raise TransactionError("cannot repartition inside a transaction")
+        catalog = self.catalog
+        table = catalog.get_table(name)
+        if getattr(table, "is_virtual", False):
+            raise CatalogError(f"cannot repartition system table {name}")
+        if table.is_shard_view:
+            raise CatalogError(
+                f"{name} is a shard view; repartition its parent table"
+            )
+        if self.mvcc is not None and self.mvcc.store.dirty(table.name):
+            raise TransactionError(
+                f"cannot repartition {name} while row versions are in flight"
+            )
+        columns = list(table.columns)
+        if column is None:
+            column = next(
+                (col.name for col in columns if col.primary_key), columns[0].name
+            )
+        rows = [row for _, row in table.heap.scan()]
+        index_defs = [
+            (
+                idx.name,
+                list(idx.column_names),
+                idx.unique,
+                "btree" if idx.supports_range else "hash",
+            )
+            for idx in table.indexes.values()
+            if idx.name != f"pk_{table.name}"
+        ]
+        partition: Optional[PartitionSpec] = None
+        if shards >= 2:
+            if kind == "range" and bounds is None:
+                key_pos = table.position_of(column)
+                values = sorted(
+                    (row[key_pos] for row in rows if row[key_pos] is not None),
+                )
+                if not values:
+                    raise CatalogError(
+                        f"range repartition of empty {name} needs explicit bounds"
+                    )
+                bounds = [
+                    values[(i * len(values)) // shards] for i in range(1, shards)
+                ]
+            partition = PartitionSpec(kind, column, shards, bounds)
+        catalog.drop_table(table.name)
+        new_table = catalog.create_table(table.name, columns, partition=partition)
+        if rows:
+            new_table.insert_many(rows)
+        for index_name, index_columns, unique, index_kind in index_defs:
+            new_table.add_index(index_name, index_columns, unique=unique, kind=index_kind)
+        if rows:
+            new_table.analyze()
+        return new_table
 
     def _mvcc_write_check(self, table: Table, rid) -> None:
         """First-committer-wins: before physically touching a row, verify
@@ -1401,6 +1512,20 @@ class Database:
             "network": {
                 **self.network.snapshot(),
                 "live_sessions": len(self.wire_sessions),
+            },
+            "sharding": {
+                "sharded_tables": sum(
+                    1
+                    for table in self.catalog.tables.values()
+                    if isinstance(table, ShardedTable)
+                ),
+                "scatter_queries": self.metrics.counter(
+                    "xnf.scatter.queries"
+                ).value,
+                "shards_pruned": self.metrics.counter("xnf.scatter.pruned").value,
+                "delta_partitions_skipped": self.metrics.counter(
+                    "xnf.scatter.delta_skipped"
+                ).value,
             },
         }
 

@@ -600,7 +600,17 @@ class Planner:
         join_preds: List[Tuple[ast.Expr, frozenset]],
     ) -> _Partial:
         remaining = {info.name for info in infos}
-        start = min(remaining, key=lambda name: singles[name].cost)
+        # Seed on cost + emitted cardinality, not cost alone: an access
+        # path's cost is computed from catalog stats and never updated when
+        # optimizer feedback overrides est_rows, so seeding purely on cost
+        # could start the greedy chain from a quantifier feedback already
+        # proved huge.  est_rows *is* feedback-corrected, so charging each
+        # emitted row at the sequential rate keeps the seed honest.
+        start = min(
+            remaining,
+            key=lambda name: singles[name].cost
+            + singles[name].est_rows * _SEQ_ROW_COST,
+        )
         current = singles[start]
         remaining.discard(start)
         while remaining:

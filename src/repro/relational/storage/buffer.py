@@ -146,8 +146,18 @@ class BufferPool:
                     break
             if victim_id is None:
                 raise ExecutionError("buffer pool exhausted: all pages pinned")
-            victim = self._frames.pop(victim_id)
-            del self._pins[victim_id]
-            self.evictions += 1
+            # Write back BEFORE dropping the frame: a failed write must
+            # leave the victim resident and dirty, because this frame is
+            # the only copy of changes the WAL already promised.  Dropping
+            # first and then failing the write would silently revert the
+            # page to its stale disk image on the next fetch — later
+            # inserts would reuse slots that committed records still
+            # occupy in the log, and the page's eventual successful flush
+            # would carry a page LSN that makes redo skip those records.
+            victim = self._frames[victim_id]
             if victim.dirty:
                 self._write_page(victim)
+                victim.dirty = False
+            del self._frames[victim_id]
+            del self._pins[victim_id]
+            self.evictions += 1

@@ -27,6 +27,8 @@ The catalog of tables:
 ``SYS_SESSIONS``         live wire-server sessions (state, statements,
                          open COs/cursors, age/idle)
 ``SYS_STAT_NETWORK``     wire-server frame/byte/error counters (one row)
+``SYS_SHARDS``           per-shard rows/pages + partition-key range of every
+                         sharded table (skew is the row-count imbalance)
 ======================  =====================================================
 """
 
@@ -34,7 +36,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, List, Sequence, Tuple
 
-from repro.relational.catalog import Column, VirtualTable
+from repro.relational.catalog import Column, ShardedTable, VirtualTable
 from repro.relational.types import BOOLEAN, FLOAT, INTEGER, VARCHAR
 
 #: every installed system-table name (also the drop-protection set)
@@ -52,6 +54,7 @@ SYS_TABLE_NAMES = (
     "SYS_STAT_ESTIMATES",
     "SYS_SESSIONS",
     "SYS_STAT_NETWORK",
+    "SYS_SHARDS",
 )
 
 
@@ -76,7 +79,35 @@ def _tables_provider(db) -> Callable[[], Iterable[Tuple]]:
                 catalog.object_version(table.name),
             )
             for table in catalog.tables.values()
+            # shard views are an implementation detail of their parent;
+            # SYS_SHARDS carries the per-shard numbers
+            if not table.is_shard_view
         ]
+    return provider
+
+
+def _shards_provider(db) -> Callable[[], Iterable[Tuple]]:
+    def provider() -> List[Tuple]:
+        out: List[Tuple] = []
+        for table in db.catalog.tables.values():
+            if not isinstance(table, ShardedTable):
+                continue
+            spec = table.partition
+            for shard_id, shard in enumerate(table.heap.shards):
+                bounds = table.heap.zone_maps[shard_id].bounds_for(
+                    spec.column_pos
+                )
+                out.append((
+                    table.name,
+                    shard_id,
+                    spec.kind,
+                    spec.column,
+                    shard.row_count,
+                    shard.num_pages(),
+                    None if bounds is None else str(bounds[0]),
+                    None if bounds is None else str(bounds[1]),
+                ))
+        return out
     return provider
 
 
@@ -84,6 +115,8 @@ def _indexes_provider(db) -> Callable[[], Iterable[Tuple]]:
     def provider() -> List[Tuple]:
         out: List[Tuple] = []
         for table in db.catalog.tables.values():
+            if table.is_shard_view:
+                continue
             for index in table.indexes.values():
                 kind = type(index).__name__.replace("Index", "").lower()
                 out.append((
@@ -401,6 +434,20 @@ def build_sys_tables(db) -> List[VirtualTable]:
                 ("protocol_errors", INTEGER),
             ),
             _wide_row_provider(db.network.snapshot, _NETWORK_KEYS),
+        ),
+        VirtualTable(
+            "SYS_SHARDS",
+            _columns(
+                ("table_name", VARCHAR()),
+                ("shard", INTEGER),
+                ("kind", VARCHAR()),
+                ("partition_column", VARCHAR()),
+                ("row_count", INTEGER),
+                ("page_count", INTEGER),
+                ("min_key", VARCHAR()),
+                ("max_key", VARCHAR()),
+            ),
+            _shards_provider(db),
         ),
     ]
 

@@ -38,13 +38,15 @@ import concurrent.futures
 import itertools
 import threading
 import time
-from typing import Any, Callable, Dict, Optional
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import (
     AdmissionError,
     AuthError,
     CursorError,
     ExecutionError,
+    HandleEvictedError,
     ReproError,
     ServerShutdownError,
     SQLError,
@@ -57,6 +59,90 @@ from repro.xnf.api import CompositeObject, XNFSession
 #: default cap on rows returned inline by QUERY/EXECUTE before the rest
 #: spills into a server-side fetch cursor
 DEFAULT_FETCH_SIZE = 4096
+
+
+class _LRUHandles:
+    """Bounded, LRU-ordered id → handle map for per-connection server state.
+
+    The wire protocol hands out integer handles (prepared statements, fetch
+    cursors, composite objects, CO cursors) that live until the client closes
+    them — so a sloppy or long-lived client used to grow these maps without
+    bound.  Each map now caps at ``cap`` entries; inserting past the cap
+    evicts the least recently used handle (``on_evict`` does the per-kind
+    bookkeeping).  Evicted ids are remembered so a later access raises a
+    typed, **non-retryable** :class:`~repro.errors.HandleEvictedError`
+    (which survives the wire roundtrip) instead of the generic "unknown
+    handle" — the client learns it must re-create the handle, not retry.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        cap: int,
+        on_evict: Optional[Callable[[int, Any], None]] = None,
+    ):
+        self.kind = kind
+        self.cap = max(1, int(cap))
+        self.on_evict = on_evict
+        self.evictions = 0
+        self._items: "OrderedDict[int, Any]" = OrderedDict()
+        self._evicted: set = set()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._items
+
+    def __setitem__(self, key: int, value: Any) -> None:
+        self._items[key] = value
+        self._items.move_to_end(key)
+        while len(self._items) > self.cap:
+            old_key, old_value = self._items.popitem(last=False)
+            self._evicted.add(old_key)
+            self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(old_key, old_value)
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Fetch + LRU-touch; raises HandleEvictedError for evicted ids."""
+        value = self._items.get(key)
+        if value is None:
+            self.raise_if_evicted(key)
+            return None
+        self._items.move_to_end(key)
+        return value
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        """Plain removal (explicit close) — does NOT mark the id evicted."""
+        return self._items.pop(key, default)
+
+    def evict(self, key: int) -> None:
+        """Forced eviction (cascade): removes, remembers, runs on_evict."""
+        value = self._items.pop(key, _ABSENT)
+        if value is _ABSENT:
+            return
+        self._evicted.add(key)
+        self.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(key, value)
+
+    def raise_if_evicted(self, key: Any) -> None:
+        if key in self._evicted:
+            raise HandleEvictedError(
+                f"{self.kind} {key!r} was evicted by the session handle cap; "
+                f"re-create it (the handle cannot be replayed)"
+            )
+
+    def items(self) -> List[Tuple[int, Any]]:
+        return list(self._items.items())
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._evicted.clear()
+
+
+_ABSENT = object()
 
 
 class _WireConnection:
@@ -74,12 +160,33 @@ class _WireConnection:
         self.closing = False
         self._xnf: Optional[XNFSession] = None
         self._ids = itertools.count(1)
-        self.prepared: Dict[int, Any] = {}
+        cap = server.max_session_handles
+        self.prepared = _LRUHandles(
+            "prepared statement", cap, self._evicted_handle
+        )
         #: result-set cursors: id -> {"columns": [...], "rows": [...]}
-        self.cursors: Dict[int, Dict[str, Any]] = {}
-        self.cos: Dict[int, CompositeObject] = {}
+        self.cursors = _LRUHandles("fetch cursor", cap, self._evicted_cursor)
+        self.cos = _LRUHandles("composite object", cap, self._evicted_co)
         #: CO cursors: id -> (co_id, IndependentCursor)
-        self.co_cursors: Dict[int, Any] = {}
+        self.co_cursors = _LRUHandles("CO cursor", cap, self._evicted_cursor)
+
+    # -- handle eviction bookkeeping ------------------------------------------
+
+    def _evicted_handle(self, handle_id: int, value: Any) -> None:
+        self.server.db.network.inc("handles_evicted")
+
+    def _evicted_cursor(self, handle_id: int, value: Any) -> None:
+        self.stats.record(cursors_open=-1)
+        self.server.db.network.inc("handles_evicted")
+
+    def _evicted_co(self, co_id: int, value: Any) -> None:
+        self.stats.record(cos_open=-1)
+        self.server.db.network.inc("handles_evicted")
+        # A CO's cursors are useless without it: cascade the eviction so a
+        # later CO_FETCH reports "evicted", not a dangling cursor.
+        for cid, (owner, _) in self.co_cursors.items():
+            if owner == co_id:
+                self.co_cursors.evict(cid)
 
     # -- helpers --------------------------------------------------------------
 
@@ -292,11 +399,12 @@ class _WireConnection:
     async def op_co_close(self, payload) -> Dict[str, Any]:
         co_id = payload.get("co")
         if self.cos.pop(co_id, None) is None:
+            self.cos.raise_if_evicted(co_id)
             raise CursorError(f"unknown composite object {co_id!r}")
         self.stats.record(cos_open=-1)
         stale = [cid for cid, (owner, _) in self.co_cursors.items() if owner == co_id]
         for cid in stale:
-            del self.co_cursors[cid]
+            self.co_cursors.pop(cid)
         if stale:
             self.stats.record(cursors_open=-len(stale))
         return protocol.ok()
@@ -347,6 +455,7 @@ class XNFServer:
         statement_timeout_s: Optional[float] = None,
         fetch_size: Optional[int] = DEFAULT_FETCH_SIZE,
         drain_timeout_s: float = 10.0,
+        max_session_handles: int = 256,
         xnf_session_factory: Callable[[Database], XNFSession] = XNFSession,
     ):
         self.db = db
@@ -357,6 +466,9 @@ class XNFServer:
         self.statement_timeout_s = statement_timeout_s
         self.fetch_size = fetch_size
         self.drain_timeout_s = drain_timeout_s
+        #: per-kind cap on a connection's live handles (prepared statements,
+        #: fetch cursors, COs, CO cursors); LRU-evicted past the cap
+        self.max_session_handles = max_session_handles
         self.xnf_session_factory = xnf_session_factory
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()

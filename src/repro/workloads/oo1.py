@@ -31,9 +31,15 @@ CONNECTIONS_PER_PART = 3
 
 
 def build_parts_database(
-    num_parts: int, seed: int = 42, **db_kwargs
+    num_parts: int, seed: int = 42, shards: int = 0, **db_kwargs
 ) -> Database:
-    """Create PART/CONN tables with the OO1 shape."""
+    """Create PART/CONN tables with the OO1 shape.
+
+    ``shards >= 2`` repartitions PART (range on ``x`` — part coordinates are
+    uniform on [0, 99999], so equal-width split points balance the shards)
+    and CONN (hash on ``cfrom``, the reachability join key) *before* loading
+    any rows, so the bulk load itself routes through the shards.
+    """
     db = Database(**db_kwargs)
     db.execute_script(
         """
@@ -44,17 +50,29 @@ def build_parts_database(
                            clength INTEGER);
         """
     )
+    if shards >= 2:
+        db.repartition(
+            "PART",
+            shards,
+            kind="range",
+            column="x",
+            bounds=[(i * 100000) // shards for i in range(1, shards)],
+        )
+        db.repartition("CONN", shards, kind="hash", column="cfrom")
     db.execute("INSERT INTO DESIGNLIB VALUES (1, 'main-library')")
     part_table = db.catalog.get_table("PART")
     conn_table = db.catalog.get_table("CONN")
     rng = random.Random(seed)
-    for pid in range(1, num_parts + 1):
-        part_table.insert(
+    # Bulk-load: append_rows pins pages batch-at-a-time (and, when sharded,
+    # buckets per shard so each shard's pages fill contiguously).
+    part_table.insert_many(
+        [
             (pid, f"part-type{rng.randint(0, 9)}", rng.randint(0, 99999),
              rng.randint(0, 99999), 1)
-        )
-    for cfrom, cto, ctype, clength in generate_connections(num_parts, rng):
-        conn_table.insert((cfrom, cto, ctype, clength))
+            for pid in range(1, num_parts + 1)
+        ]
+    )
+    conn_table.insert_many(generate_connections(num_parts, rng))
     db.execute(
         "CREATE INDEX idx_conn_from ON CONN (cfrom); "
         "CREATE INDEX idx_conn_to ON CONN (cto); "

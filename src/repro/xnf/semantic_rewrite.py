@@ -39,6 +39,7 @@ from repro.relational.catalog import Column, Table
 from repro.relational.engine import Database
 from repro.relational.sql import ast as sql_ast
 from repro.relational.types import BOOLEAN, FLOAT, INTEGER, SQLType, VARCHAR
+from repro.xnf import sharding
 from repro.xnf.schema import COSchema, EdgeSchema, NodeSchema
 
 Row = Tuple[Any, ...]
@@ -89,10 +90,20 @@ class XNFCompiler:
         max_rounds: Optional[int] = None,
         max_rows: Optional[int] = None,
         timeout_s: Optional[float] = None,
+        scatter: bool = True,
     ):
         self.db = db
         self.reuse_common = reuse_common
         self.semi_naive = semi_naive
+        #: scatter/gather over sharded tables (see repro.xnf.sharding): node
+        #: candidate queries run per shard with bound/zone-map pruning, and
+        #: fixpoint deltas are partitioned by the USING table's partition
+        #: key.  No-op on databases without sharded tables; ``False`` forces
+        #: the facade plans (the equivalence ablation).
+        self.scatter = scatter
+        #: component name -> shard id -> rows that shard fed into the
+        #: instance (reported to SYS_CO_STATS as kind="shard" rows)
+        self.shard_stats: Dict[str, Dict[int, int]] = {}
         #: execution guards: abort a runaway reachability fixpoint (cyclic
         #: recursive COs can otherwise expand without bound) with
         #: ResourceExhaustedError.  None disables a guard.
@@ -152,6 +163,7 @@ class XNFCompiler:
             self.stats.iterations,
             self.stats.queries_issued,
             duration_s,
+            shards=self.shard_stats or None,
         )
 
     # -- candidate sets ------------------------------------------------------------
@@ -175,7 +187,22 @@ class XNFCompiler:
         return query
 
     def _run_candidates(self, node: NodeSchema) -> Tuple[List[str], List[Row]]:
-        result = self.db.execute_ast(self.candidate_query(node))
+        query = self.candidate_query(node)
+        if self.scatter:
+            scattered = sharding.scatter_candidates(self.db, query)
+            if scattered is not None:
+                columns, rows, per_shard, _pruned = scattered
+                self.stats.queries_issued += len(per_shard)
+                self.stats.candidate_queries_run += 1
+                if per_shard:
+                    sink = self.shard_stats.setdefault(node.name, {})
+                    for shard_id, count in per_shard.items():
+                        sink[shard_id] = sink.get(shard_id, 0) + count
+                if columns is None:
+                    # every shard was pruned; derive the header statically
+                    columns = self._node_columns(node)
+                return columns, list(dict.fromkeys(rows))
+        result = self.db.execute_ast(query)
         self.stats.queries_issued += 1
         self.stats.candidate_queries_run += 1
         unique: Dict[Row, None] = dict.fromkeys(result.rows)
@@ -318,10 +345,37 @@ class XNFCompiler:
         One generated query per child partner (one for a binary edge); every
         query joins the delta with *all* child partners plus the USING
         tables, because the relationship predicate mentions all of them.
+
+        When the edge joins the delta to a sharded USING table on its
+        partition key and the delta is large enough to amortise the split
+        (:data:`sharding.MIN_PARTITION_DELTA_ROWS`), the delta is
+        partitioned by that key instead (``repro.xnf.sharding``): one
+        ``XNF_DELTA_<node>_S<i>`` worktable per shard with a non-empty
+        partition, empty partitions skipped — the per-round delta exchange
+        of partition-aware reachability.
         """
+        partition_plan = (
+            sharding.delta_partition_plan(self.db, edge, columns[edge.parent])
+            if self.scatter
+            and len(parent_rows) >= sharding.MIN_PARTITION_DELTA_ROWS
+            else None
+        )
+        if partition_plan is not None:
+            return self._derive_children_partitioned(
+                edge, columns, candidate_tables, parent_rows, partition_plan
+            )
         delta_table = self._materialize(
             f"DELTA_{edge.parent}", columns[edge.parent], parent_rows
         )
+        return self._run_child_queries(edge, candidate_tables, delta_table)
+
+    def _run_child_queries(
+        self,
+        edge: EdgeSchema,
+        candidate_tables: Dict[str, str],
+        delta_table: str,
+        derived: Optional[Dict[str, List[Row]]] = None,
+    ) -> Dict[str, List[Row]]:
         from_tables: List[sql_ast.TableRef] = [
             sql_ast.NamedTable(delta_table, edge.parent_binding),
         ]
@@ -332,7 +386,8 @@ class XNFCompiler:
         from_tables.extend(
             sql_ast.NamedTable(u.table, u.alias) for u in edge.using
         )
-        derived: Dict[str, List[Row]] = {}
+        if derived is None:
+            derived = {}
         for child_name, binding in zip(edge.child_names(), edge.child_bindings()):
             query = sql_ast.SelectStmt(
                 [sql_ast.SelectItem(sql_ast.Star(binding))],
@@ -343,6 +398,30 @@ class XNFCompiler:
             result = self.db.execute_ast(query)
             self.stats.queries_issued += 1
             derived.setdefault(child_name, []).extend(result.rows)
+        return derived
+
+    def _derive_children_partitioned(
+        self,
+        edge: EdgeSchema,
+        columns: Dict[str, List[str]],
+        candidate_tables: Dict[str, str],
+        parent_rows: List[Row],
+        partition_plan: Tuple[Any, int],
+    ) -> Dict[str, List[Row]]:
+        using_table, key_pos = partition_plan
+        buckets = sharding.partition_delta(using_table, key_pos, parent_rows)
+        skipped = using_table.partition.num_shards - len(buckets)
+        if skipped:
+            self.db.metrics.inc("xnf.scatter.delta_skipped", skipped)
+        sink = self.shard_stats.setdefault(edge.name, {})
+        derived: Dict[str, List[Row]] = {}
+        for shard_id in sorted(buckets):
+            rows = buckets[shard_id]
+            sink[shard_id] = sink.get(shard_id, 0) + len(rows)
+            delta_table = self._materialize(
+                f"DELTA_{edge.parent}_S{shard_id}", columns[edge.parent], rows
+            )
+            self._run_child_queries(edge, candidate_tables, delta_table, derived)
         return derived
 
     def _derive_connections(

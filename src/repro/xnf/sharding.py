@@ -1,0 +1,422 @@
+"""Scatter/gather execution of XNF generated queries over sharded tables.
+
+The semantic rewrite produces one query per node/edge (see
+``semantic_rewrite.py``); when such a query reads a
+:class:`~repro.relational.catalog.ShardedTable`, this module
+
+* **scatters** a node's candidate query across the table's shard views —
+  skipping shards whose partition bounds / zone maps prove the query's
+  restriction predicate unsatisfiable there (the work reduction that makes
+  partitioned extraction pay off on a single core), running the remaining
+  per-shard queries on a thread pool when no ambient transaction pins the
+  calling thread's snapshot, and gathering results in shard order so the
+  row order matches the facade's chained scan exactly;
+* **partitions** semi-naive fixpoint deltas by the partition key of the
+  edge's USING table, materialising one ``XNF_DELTA_<node>_S<i>`` scratch
+  worktable per shard and skipping shards whose delta partition is empty —
+  the per-round delta exchange of partition-aware reachability.
+
+Both transformations are pure work-splitting: a scatter is a union of
+disjoint shard reads and a delta partition is a partition of the join's
+outer side, so results are identical to the unsharded plan (the equivalence
+suite asserts bit-identical instances).
+"""
+
+from __future__ import annotations
+
+import copy
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.relational.catalog import ShardedTable
+from repro.relational.sql import ast as sql_ast
+from repro.xnf.schema import EdgeSchema
+
+Row = Tuple[Any, ...]
+
+#: Deltas below this size ride the single facade query instead of being
+#: partitioned: the per-bucket scratch-table materialisation and query
+#: planning are pure overhead when the child join index-probes the USING
+#: table anyway (probing the facade index with partition i's keys touches
+#: only shard i's entries by construction), and only sizeable deltas
+#: amortise the exchange.
+MIN_PARTITION_DELTA_ROWS = 256
+
+#: (low, low_inclusive, high, high_inclusive); None bound = unbounded
+_Interval = Tuple[Any, bool, Any, bool]
+
+
+# -- locating the sharded table in a generated query ---------------------------
+
+
+def _collect_named_tables(ref: Any, out: List[sql_ast.NamedTable]) -> None:
+    if isinstance(ref, sql_ast.NamedTable):
+        out.append(ref)
+    elif isinstance(ref, sql_ast.Join):
+        _collect_named_tables(ref.left, out)
+        _collect_named_tables(ref.right, out)
+    elif isinstance(ref, sql_ast.DerivedTable):
+        _query_named_tables(ref.subquery, out)
+
+
+def _query_named_tables(query: Any, out: List[sql_ast.NamedTable]) -> None:
+    if isinstance(query, sql_ast.SetOpStmt):
+        _query_named_tables(query.left, out)
+        _query_named_tables(query.right, out)
+        return
+    if isinstance(query, sql_ast.SelectStmt):
+        for ref in query.from_tables:
+            _collect_named_tables(ref, out)
+
+
+def _enclosing_select(
+    query: Any, target: sql_ast.NamedTable
+) -> Optional[sql_ast.SelectStmt]:
+    """The SelectStmt whose FROM list (directly) holds *target*."""
+    if isinstance(query, sql_ast.SetOpStmt):
+        return _enclosing_select(query.left, target) or _enclosing_select(
+            query.right, target
+        )
+    if not isinstance(query, sql_ast.SelectStmt):
+        return None
+    for ref in query.from_tables:
+        if ref is target:
+            return query
+        if isinstance(ref, sql_ast.DerivedTable):
+            found = _enclosing_select(ref.subquery, target)
+            if found is not None:
+                return found
+    return None
+
+
+def find_scatter_target(
+    db: Any, query: Any
+) -> Optional[Tuple[ShardedTable, sql_ast.NamedTable]]:
+    """The single sharded base table a query reads, if there is exactly one.
+
+    Queries touching zero or several sharded tables fall back to the facade
+    path (always correct — the facade scan chains the shards anyway).
+    """
+    refs: List[sql_ast.NamedTable] = []
+    _query_named_tables(query, refs)
+    hits = [
+        (table, ref)
+        for ref in refs
+        for table in (db.catalog.tables.get(ref.name.upper()),)
+        if isinstance(table, ShardedTable)
+    ]
+    if len(hits) != 1:
+        return None
+    return hits[0]
+
+
+# -- zone-map / partition-bound pruning ----------------------------------------
+
+
+def _conjuncts(expr: Any) -> List[Any]:
+    if isinstance(expr, sql_ast.BinaryOp) and expr.op == "AND":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr] if expr is not None else []
+
+
+def _column_pos(
+    table: ShardedTable, binding: str, ref: Any
+) -> Optional[int]:
+    if not isinstance(ref, sql_ast.ColumnRef):
+        return None
+    if ref.table is not None and ref.table.upper() != binding.upper():
+        return None
+    positions = table.column_positions
+    for candidate in (ref.column, ref.column.lower(), ref.column.upper()):
+        pos = positions.get(candidate)
+        if pos is not None:
+            return pos
+    return None
+
+
+def _literal(expr: Any) -> Tuple[bool, Any]:
+    if isinstance(expr, sql_ast.Literal):
+        return True, expr.value
+    return False, None
+
+
+def _intersect(a: Optional[_Interval], b: Optional[_Interval]) -> Optional[_Interval]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    lo, lo_inc, hi, hi_inc = a
+    blo, blo_inc, bhi, bhi_inc = b
+    if blo is not None and (lo is None or blo > lo or (blo == lo and not blo_inc)):
+        lo, lo_inc = blo, blo_inc
+    if bhi is not None and (hi is None or bhi < hi or (bhi == hi and not bhi_inc)):
+        hi, hi_inc = bhi, bhi_inc
+    return lo, lo_inc, hi, hi_inc
+
+
+def _interval_empty(interval: _Interval) -> bool:
+    lo, lo_inc, hi, hi_inc = interval
+    if lo is None or hi is None:
+        return False
+    if lo > hi:
+        return True
+    return lo == hi and not (lo_inc and hi_inc)
+
+
+def _contains(interval: _Interval, value: Any) -> bool:
+    lo, lo_inc, hi, hi_inc = interval
+    if lo is not None and (value < lo or (value == lo and not lo_inc)):
+        return False
+    if hi is not None and (value > hi or (value == hi and not hi_inc)):
+        return False
+    return True
+
+
+def _comparison_satisfiable(op: str, interval: _Interval, value: Any) -> bool:
+    """Can any point of *interval* satisfy ``col <op> value``?"""
+    lo, lo_inc, hi, hi_inc = interval
+    if op == "=":
+        return _contains(interval, value)
+    if op == "<":
+        return lo is None or lo < value
+    if op == "<=":
+        return lo is None or lo < value or (lo == value and lo_inc)
+    if op == ">":
+        return hi is None or hi > value
+    if op == ">=":
+        return hi is None or hi > value or (hi == value and hi_inc)
+    return True  # <>, LIKE, arithmetic … — never prune on these
+
+
+def _shard_interval(
+    table: ShardedTable, shard_id: int, pos: int
+) -> Optional[Tuple[str, Optional[_Interval]]]:
+    """What shard *shard_id* can hold in column *pos*.
+
+    Returns ``("empty", None)`` when the shard provably holds no non-NULL
+    value in the column (prunable for any NULL-rejecting predicate),
+    ``("range", interval)`` when bounded, or None when nothing is known.
+    """
+    spec = table.partition
+    zone = table.heap.zone_maps[shard_id]
+    kind, payload = zone.classify(pos)
+    if kind == "empty":
+        return "empty", None
+    interval: Optional[_Interval] = None
+    if kind == "range":
+        lo, hi = payload
+        interval = (lo, True, hi, True)
+    if spec.kind == "range" and pos == spec.column_pos:
+        low, high = spec.range_of(shard_id)
+        interval = _intersect(interval, (low, True, high, False))
+    if interval is None:
+        return None
+    return "range", interval
+
+
+def shard_may_match(
+    table: ShardedTable,
+    shard_id: int,
+    conjuncts: List[Any],
+    binding: str,
+) -> bool:
+    """False only when some conjunct provably matches nothing on the shard."""
+    for conjunct in conjuncts:
+        pos: Optional[int] = None
+        verdict: Optional[bool] = None
+        try:
+            if isinstance(conjunct, sql_ast.BinaryOp):
+                op = conjunct.op
+                pos = _column_pos(table, binding, conjunct.left)
+                ok, value = _literal(conjunct.right)
+                if pos is None or not ok:
+                    # literal OP column — mirror the operator
+                    pos = _column_pos(table, binding, conjunct.right)
+                    ok, value = _literal(conjunct.left)
+                    op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+                if pos is None or not ok or value is None:
+                    continue
+                known = _shard_interval(table, shard_id, pos)
+                if known is None:
+                    continue
+                if known[0] == "empty":
+                    verdict = False
+                else:
+                    verdict = _comparison_satisfiable(op, known[1], value)
+            elif isinstance(conjunct, sql_ast.Between) and not conjunct.negated:
+                pos = _column_pos(table, binding, conjunct.operand)
+                lo_ok, lo = _literal(conjunct.low)
+                hi_ok, hi = _literal(conjunct.high)
+                if pos is None or not lo_ok or not hi_ok:
+                    continue
+                known = _shard_interval(table, shard_id, pos)
+                if known is None:
+                    continue
+                if known[0] == "empty":
+                    verdict = False
+                else:
+                    narrowed = _intersect(known[1], (lo, True, hi, True))
+                    verdict = narrowed is None or not _interval_empty(narrowed)
+            elif isinstance(conjunct, sql_ast.InList) and not conjunct.negated:
+                pos = _column_pos(table, binding, conjunct.operand)
+                values = []
+                for item in conjunct.items:
+                    ok, value = _literal(item)
+                    if not ok:
+                        values = None
+                        break
+                    values.append(value)
+                if pos is None or values is None:
+                    continue
+                known = _shard_interval(table, shard_id, pos)
+                if known is None:
+                    continue
+                if known[0] == "empty":
+                    verdict = False
+                else:
+                    verdict = any(
+                        value is not None and _contains(known[1], value)
+                        for value in values
+                    )
+            else:
+                continue
+        except TypeError:
+            continue  # incomparable values: never prune on a guess
+        if verdict is False:
+            return False
+    return True
+
+
+# -- candidate scatter ---------------------------------------------------------
+
+
+def _rewrite_for_shard(
+    query: Any, target_name: str, view_name: str
+) -> Any:
+    """Deep-copy *query* with its (single) reference to *target_name*
+    retargeted at *view_name*; the original binding is preserved via an
+    alias so column qualifiers keep resolving."""
+    clone = copy.deepcopy(query)
+    refs: List[sql_ast.NamedTable] = []
+    _query_named_tables(clone, refs)
+    for ref in refs:
+        if ref.name.upper() == target_name.upper():
+            if ref.alias is None:
+                ref.alias = ref.name
+            ref.name = view_name
+            return clone
+    raise AssertionError(f"no reference to {target_name} in scattered query")
+
+
+def scatter_candidates(
+    db: Any, query: Any
+) -> Optional[Tuple[Optional[List[str]], List[Row], Dict[int, int], int]]:
+    """Run a candidate query shard-wise, pruning non-matching shards.
+
+    Returns ``(columns, rows, rows_per_shard, shards_pruned)`` with rows in
+    shard order, or None when the query does not read exactly one sharded
+    table (caller falls back to the facade plan).  ``columns`` is None when
+    every shard was pruned (no query ran to report a header).
+    """
+    hit = find_scatter_target(db, query)
+    if hit is None:
+        return None
+    table, ref = hit
+    binding = ref.alias or ref.name
+    select = _enclosing_select(query, ref)
+    conjuncts = _conjuncts(select.where) if select is not None else []
+    shard_ids = [
+        shard_id
+        for shard_id in range(table.partition.num_shards)
+        if shard_may_match(table, shard_id, conjuncts, binding)
+    ]
+    pruned = table.partition.num_shards - len(shard_ids)
+    if pruned:
+        db.metrics.inc("xnf.scatter.pruned", pruned)
+    if not shard_ids:
+        return None, [], {}, pruned
+    queries = [
+        _rewrite_for_shard(query, table.name, table.shard_view_name(shard_id))
+        for shard_id in shard_ids
+    ]
+    db.metrics.inc("xnf.scatter.queries", len(queries))
+    if len(queries) > 1 and not db.in_transaction:
+        # Autocommit reads carry no ambient snapshot into worker threads,
+        # so each per-shard query resolves exactly like a serial autocommit
+        # statement would.  Inside a transaction the snapshot is pinned to
+        # the calling thread: run serially to preserve it.
+        with ThreadPoolExecutor(max_workers=len(queries)) as pool:
+            results = list(pool.map(db.execute_ast, queries))
+    else:
+        results = [db.execute_ast(shard_query) for shard_query in queries]
+    columns = results[0].columns
+    rows: List[Row] = []
+    per_shard: Dict[int, int] = {}
+    for shard_id, result in zip(shard_ids, results):
+        per_shard[shard_id] = len(result.rows)
+        rows.extend(result.rows)
+    return columns, rows, per_shard, pruned
+
+
+# -- fixpoint delta partitioning -----------------------------------------------
+
+
+def delta_partition_plan(
+    db: Any, edge: EdgeSchema, parent_columns: List[str]
+) -> Optional[Tuple[ShardedTable, int]]:
+    """Whether *edge*'s reachability join can exchange partitioned deltas.
+
+    Applies when the edge joins the parent delta to exactly one sharded
+    USING table on that table's partition key: rows of delta partition i
+    can then only join shard i's rows, so partitioning the delta by the
+    same routing function and skipping empty partitions is a no-op
+    semantically.  Returns ``(using_table, parent_column_pos)`` — the
+    position of the parent-side join column in *parent_columns*.
+    """
+    sharded = [
+        (u, table)
+        for u in edge.using
+        for table in (db.catalog.tables.get(u.table.upper()),)
+        if isinstance(table, ShardedTable)
+    ]
+    if len(sharded) != 1:
+        return None
+    using, table = sharded[0]
+    spec = table.partition
+    parent_binding = edge.parent_binding.upper()
+    using_binding = (using.alias or using.table).upper()
+    positions = {name.upper(): pos for pos, name in enumerate(parent_columns)}
+    for conjunct in _conjuncts(edge.predicate):
+        if not (isinstance(conjunct, sql_ast.BinaryOp) and conjunct.op == "="):
+            continue
+        for left, right in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if not (
+                isinstance(left, sql_ast.ColumnRef)
+                and isinstance(right, sql_ast.ColumnRef)
+            ):
+                continue
+            if (
+                left.table is not None
+                and left.table.upper() == using_binding
+                and left.column.upper() == spec.column.upper()
+                and right.table is not None
+                and right.table.upper() == parent_binding
+            ):
+                pos = positions.get(right.column.upper())
+                if pos is not None:
+                    return table, pos
+    return None
+
+
+def partition_delta(
+    table: ShardedTable, pos: int, parent_rows: List[Row]
+) -> Dict[int, List[Row]]:
+    """Bucket delta rows by the using table's routing of their join key."""
+    route_value = table.partition.route_value
+    buckets: Dict[int, List[Row]] = {}
+    for row in parent_rows:
+        buckets.setdefault(route_value(row[pos]), []).append(row)
+    return buckets

@@ -1,0 +1,130 @@
+"""Retry/backoff contract of Database.run_retryable and WireClient.run_retryable.
+
+Two regressions pinned here:
+
+* ``backoff_s=0`` used to busy-spin: the "seed from the error's
+  backoff_hint_s" re-arm only fired for ``None``, and ``0 * 2`` stays 0, so
+  every retry slept zero seconds.  Zero/negative seeds now re-arm exactly
+  like ``None``.
+* jitter could overshoot ``max_backoff_s`` by up to ``jitter``×: the cap was
+  applied before the jitter multiplier, not after.  The post-jitter sleep is
+  now clamped.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.client.client import WireClient
+from repro.relational.engine import Database
+
+
+class _Flaky:
+    """Callable failing with a retryable error for the first *failures* calls."""
+
+    def __init__(self, failures, hint=None):
+        self.failures = failures
+        self.calls = 0
+        self.hint = hint
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            err = SerializationError("write-write conflict")
+            if self.hint is not None:
+                err.backoff_hint_s = self.hint
+            raise err
+        return "done"
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    """Record every time.sleep() a retry loop performs."""
+    recorded = []
+    monkeypatch.setattr("time.sleep", lambda s: recorded.append(s))
+    return recorded
+
+
+def _wire_client():
+    """A WireClient with no socket: run_retryable only needs rollback()."""
+    client = WireClient.__new__(WireClient)
+    client.rollback = lambda: None
+    return client
+
+
+RUNNERS = [
+    pytest.param(lambda: Database().run_retryable, id="engine"),
+    pytest.param(lambda: _wire_client().run_retryable, id="wire-client"),
+]
+
+
+@pytest.mark.parametrize("make_runner", RUNNERS)
+class TestRetryBackoff:
+    def test_zero_backoff_does_not_busy_spin(self, make_runner, sleeps):
+        run = make_runner()
+        fn = _Flaky(failures=4)
+        assert run(fn, backoff_s=0, jitter=0.0, rng=random.Random(1)) == "done"
+        assert fn.calls == 5
+        assert len(sleeps) == 4
+        # re-armed from the 2 ms default hint, then doubled — never zero
+        assert all(s > 0 for s in sleeps)
+        assert sleeps == sorted(sleeps)
+        assert sleeps[0] == pytest.approx(0.002)
+        assert sleeps[-1] > sleeps[0]
+
+    def test_negative_backoff_treated_like_none(self, make_runner, sleeps):
+        run = make_runner()
+        assert (
+            run(_Flaky(failures=2), backoff_s=-1.0, jitter=0.0,
+                rng=random.Random(1))
+            == "done"
+        )
+        assert all(s > 0 for s in sleeps)
+
+    def test_backoff_hint_seeds_first_delay(self, make_runner, sleeps):
+        run = make_runner()
+        run(_Flaky(failures=2, hint=0.02), jitter=0.0, rng=random.Random(1))
+        assert sleeps[0] == pytest.approx(0.02)
+        assert sleeps[1] == pytest.approx(0.04)
+
+    def test_jitter_never_exceeds_max_backoff(self, make_runner, sleeps):
+        run = make_runner()
+        run(
+            _Flaky(failures=6),
+            retries=6,
+            backoff_s=0.2,
+            max_backoff_s=0.25,
+            jitter=1.0,  # pre-fix this could sleep up to 2 * max_backoff_s
+            rng=random.Random(7),
+        )
+        assert len(sleeps) == 6
+        assert all(s <= 0.25 for s in sleeps)
+
+    def test_non_retryable_errors_propagate_immediately(self, make_runner, sleeps):
+        run = make_runner()
+
+        def boom():
+            raise ValueError("not a repro error at all")
+
+        with pytest.raises(ValueError):
+            run(boom)
+        assert sleeps == []
+
+    def test_budget_exhaustion_reraises_last_error(self, make_runner, sleeps):
+        run = make_runner()
+        fn = _Flaky(failures=99)
+        with pytest.raises(SerializationError):
+            run(fn, retries=3, backoff_s=0, jitter=0.0, rng=random.Random(1))
+        assert fn.calls == 4  # initial attempt + 3 retries
+        assert len(sleeps) == 3  # no sleep after the final failure
+
+
+def test_wire_client_rolls_back_between_attempts(sleeps):
+    client = WireClient.__new__(WireClient)
+    rollbacks = []
+    client.rollback = lambda: rollbacks.append(True)
+    assert (
+        client.run_retryable(_Flaky(failures=2), rng=random.Random(3)) == "done"
+    )
+    assert len(rollbacks) == 2

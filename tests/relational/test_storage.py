@@ -306,6 +306,41 @@ class TestBufferPool:
         pool.unpin(p1)
         assert disk.read(p0).read(0) == ("T", (42,))
 
+    def test_failed_writeback_keeps_victim_resident_and_dirty(self):
+        """An eviction whose write-back fails must not lose the dirty frame.
+
+        The frame is the only copy of changes the WAL already logged; if
+        eviction dropped it before the write succeeded, the next fetch
+        would resurrect the stale disk image and later inserts would
+        reuse slots that committed log records still occupy — committed
+        rows would then vanish across a crash because redo trusts the
+        page LSN of the eventual successful flush.
+        """
+        disk = DiskManager()
+        pool = BufferPool(disk, capacity=1)
+        p0 = disk.allocate()
+        page = pool.fetch(p0)
+        page.insert("T", (42,))
+        pool.unpin(p0, dirty=True)
+
+        injector = FaultInjector(seed=1)
+        disk.fault_injector = injector
+        injector.arm()
+        injector.fail_next_writes(1)
+        p1 = disk.allocate()
+        with pytest.raises(IOFaultError):
+            pool.fetch(p1)
+        # the victim survived the failed eviction, still dirty
+        assert p0 in pool._frames
+        assert pool._frames[p0].dirty
+        assert pool._frames[p0].read(0) == ("T", (42,))
+
+        # once the disk heals, eviction completes and persists the row
+        injector.disarm()
+        pool.fetch(p1)
+        pool.unpin(p1)
+        assert disk.read(p0).read(0) == ("T", (42,))
+
     def test_unpin_unpinned_raises(self):
         disk = DiskManager()
         pool = BufferPool(disk, capacity=2)
