@@ -1,8 +1,8 @@
 """Observability cost ledger: SYS-table scan cost and tracing overhead.
 
-Two numbers guard the "observability is near-free" claim (ISSUE 5
-satellite f), written to ``BENCH_observability.json`` for
-``benchmarks/check_regression.py``:
+Four numbers guard the "observability is near-free" claim (ISSUE 5
+satellite f; ISSUE 10 extends it end to end), written to
+``BENCH_observability.json`` for ``benchmarks/check_regression.py``:
 
 * ``sys_scan_ms`` — median wall time of the acceptance query
   (``SELECT … FROM SYS_STAT_STATEMENTS ORDER BY mean_ms DESC``) plus a
@@ -14,6 +14,18 @@ satellite f), written to ``BENCH_observability.json`` for
   instead of systematically favouring whichever side runs second; the
   ledger records the best of three block **medians** of per-pair ratios.
   The CI gate budget is 5% (``TRACING_OVERHEAD_BUDGET``).
+* ``server_tracing_overhead`` — the same ABBA ratio across the wire: a
+  tracing client (TraceContext injected into every frame) against a real
+  loopback server adopting it, opening the ``wire.<op>`` span and
+  building the per-statement profile, vs. both tracers off.  Budget 10%
+  (``REMOTE_TRACING_OVERHEAD_BUDGET``).
+* ``sharded_tracing_overhead`` — the ABBA ratio for a sharded (4-way) CO
+  extraction, where every scatter/delta worker adopts the statement's
+  TraceContext and opens a per-shard span.  Same 10% budget.
+
+The run also writes ``BENCH_trace_spans.jsonl`` (a short non-timed
+stanza): client- and server-side JSONL trace records of the same
+statements, stitchable on ``trace_id`` — uploaded as a CI artifact.
 """
 
 import gc
@@ -25,10 +37,20 @@ import time
 import pytest
 
 from benchmarks.conftest import report
+from repro.client.client import WireClient
+from repro.obs.export import JsonlTraceExporter
 from repro.relational.engine import Database
 from repro.relational.sql.parser import parse_statements
+from repro.server.server import ServerThread
+from repro.workloads import oo1
+from repro.xnf.lang.parser import parse_xnf
+from repro.xnf.semantic_rewrite import XNFCompiler
+from repro.xnf.views import XNFViewCatalog, resolve
 
 LEDGER_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_observability.json"
+TRACE_SPANS_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_trace_spans.jsonl"
+)
 
 _RESULTS = {}
 
@@ -117,21 +139,42 @@ def test_tracing_overhead(benchmark):
         configure(enabled)
         batch()
 
-    # The true overhead is a few µs per ~150µs statement; scheduler and
-    # allocator noise in CI easily exceeds it per batch.  Estimate per
-    # block as the median of paired (traced/untraced) ratios — pairs
-    # alternate which configuration runs first, so warm-up drift inside a
-    # pair cancels over the block instead of biasing the ratio — then take
-    # the best of three independent blocks: noise only ever inflates a
-    # block, so the minimum is the tightest *stable* estimate.
+    overhead, block_estimates, all_ratios = _abba_overhead(timed, blocks=5)
+    configure(True)
+    _RESULTS["tracing_overhead"] = overhead
+    _RESULTS["tracing_block_medians"] = [round(b, 4) for b in block_estimates]
+    _RESULTS["tracing_pair_ratios"] = [round(r, 4) for r in all_ratios]
+    report(
+        "observability",
+        f"tracing+stats overhead: {overhead:+.2%} "
+        f"(best of 5 block medians, 10 paired batches each)",
+    )
+    benchmark(lambda: batch(2))
+
+
+def _abba_overhead(timed, blocks: int = 3, pairs: int = 10):
+    """Best-of-blocks median of paired ``timed(True)/timed(False)`` ratios.
+
+    The true overhead is a few µs per ~150µs statement; scheduler and
+    allocator noise in CI easily exceeds it per batch.  Estimate per
+    block as the median of paired (traced/untraced) ratios — pairs
+    alternate which configuration runs first, so warm-up drift inside a
+    pair cancels over the block instead of biasing the ratio — then take
+    the best of the independent blocks: noise only ever inflates a
+    block, so the minimum is the tightest *stable* estimate.
+    """
     block_estimates = []
     all_ratios = []
-    gc.collect()
     gc.disable()  # a collection landing in one batch would skew its ratio
     try:
-        for _ in range(3):
+        for _ in range(blocks):
+            # collect at the block boundary: with the collector disabled,
+            # cyclic garbage from earlier blocks' traced batches would
+            # otherwise pile up and slow later blocks' allocations —
+            # systematically inflating the traced side of the ratio.
+            gc.collect()
             ratios = []
-            for pair in range(10):
+            for pair in range(pairs):
                 if pair % 2 == 0:
                     traced = timed(True)
                     untraced = timed(False)
@@ -143,17 +186,107 @@ def test_tracing_overhead(benchmark):
             all_ratios.extend(ratios)
     finally:
         gc.enable()
-    configure(True)
-    overhead = round(min(block_estimates), 4)
-    _RESULTS["tracing_overhead"] = overhead
-    _RESULTS["tracing_block_medians"] = [round(b, 4) for b in block_estimates]
-    _RESULTS["tracing_pair_ratios"] = [round(r, 4) for r in all_ratios]
+    return round(min(block_estimates), 4), block_estimates, all_ratios
+
+
+def test_server_tracing_overhead(benchmark):
+    """Distributed-tracing cost across the wire (ISSUE 10 budget: 10%).
+
+    Traced = client injects a TraceContext into every frame AND the
+    server adopts it, opens the ``wire.<op>`` span, and builds the
+    per-statement profile.  Untraced = both tracers off (the frames then
+    carry no trace field at all) — so the ratio prices the whole
+    end-to-end tracing path, not just one side.
+    """
+    db = _warmed_db()
+    with ServerThread(db, max_connections=8) as server:
+        with WireClient(port=server.port, tracing=True) as client:
+
+            def batch(n=12):
+                for _ in range(n):
+                    client.execute("SELECT * FROM t WHERE b = 3")
+                    client.execute(
+                        "SELECT b, count(*), sum(a) FROM t GROUP BY b"
+                    )
+
+            def configure(enabled: bool):
+                db.tracer.enabled = enabled
+                client.tracer.enabled = enabled
+
+            def timed(enabled: bool) -> float:
+                configure(enabled)
+                begin = time.perf_counter()
+                batch()
+                return time.perf_counter() - begin
+
+            for enabled in (True, False):
+                configure(enabled)
+                batch()
+            overhead, block_estimates, _ = _abba_overhead(timed, pairs=6)
+            configure(True)
+
+            # Non-timed stanza: write the stitched client/server trace
+            # JSONL that CI uploads as an artifact.  Both sides append to
+            # the same file; records join on trace_id.
+            TRACE_SPANS_PATH.unlink(missing_ok=True)
+            server_log = JsonlTraceExporter(str(TRACE_SPANS_PATH))
+            client_log = JsonlTraceExporter(str(TRACE_SPANS_PATH))
+            db.tracer.exporter = server_log
+            client.tracer.exporter = client_log
+            batch(3)
+            db.tracer.exporter = None
+            client.tracer.exporter = None
+            server_log.close()
+            client_log.close()
+
+            benchmark(lambda: batch(2))
+    _RESULTS["server_tracing_overhead"] = overhead
+    _RESULTS["server_tracing_block_medians"] = [
+        round(b, 4) for b in block_estimates
+    ]
     report(
         "observability",
-        f"tracing+stats overhead: {overhead:+.2%} "
-        f"(best of 3 block medians, 10 paired batches each)",
+        f"server tracing overhead: {overhead:+.2%} "
+        f"(best of 3 block medians, 6 paired wire batches each)",
     )
-    benchmark(lambda: batch(2))
+
+
+def test_sharded_tracing_overhead(benchmark):
+    """Distributed-tracing cost on the sharded extraction path (10%).
+
+    Traced = every scatter/delta worker adopts the statement's
+    TraceContext and opens a per-shard span linked into the parent tree;
+    untraced = the tracer is off end to end.  The 4-shard OO1 parts CO
+    exercises both the candidate scatter and partitioned-delta pools.
+    """
+    db = oo1.build_parts_database(300, seed=11, shards=4)
+    compiler = XNFCompiler(db, scatter=True)
+    schema = resolve(parse_xnf(oo1.PARTS_CO), XNFViewCatalog())
+
+    def extract():
+        compiler.instantiate(schema)
+
+    def timed(enabled: bool) -> float:
+        db.tracer.enabled = enabled
+        begin = time.perf_counter()
+        extract()
+        return time.perf_counter() - begin
+
+    for enabled in (True, False):
+        db.tracer.enabled = enabled
+        extract()
+    overhead, block_estimates, _ = _abba_overhead(timed, pairs=6)
+    db.tracer.enabled = True
+    _RESULTS["sharded_tracing_overhead"] = overhead
+    _RESULTS["sharded_tracing_block_medians"] = [
+        round(b, 4) for b in block_estimates
+    ]
+    report(
+        "observability",
+        f"sharded tracing overhead: {overhead:+.2%} "
+        f"(best of 3 block medians, 6 paired extractions each)",
+    )
+    benchmark(extract)
 
 
 @pytest.fixture(scope="module", autouse=True)

@@ -22,6 +22,13 @@ It additionally gates the observability cost ledger
 * **tracing overhead** — the measured tracing + statement-stats cost
   ratio may not exceed ``TRACING_OVERHEAD_BUDGET`` (default 0.05, i.e.
   the ISSUE's 5% budget);
+* **distributed tracing overhead** — the end-to-end wire ratio
+  (``server_tracing_overhead``: client TraceContext injection + server
+  adoption + wire.<op> span + profile build) and the sharded-extraction
+  ratio (``sharded_tracing_overhead``: per-shard spans with explicit
+  context handoff) may not exceed ``REMOTE_TRACING_OVERHEAD_BUDGET``
+  (default 0.10 — tracing must be cheap enough to stay on in
+  production even across threads and the wire);
 * **SYS scan cost** — the acceptance query + SYS join must stay under
   ``SYS_SCAN_BUDGET_MS`` (default 50 ms — generous; it guards against
   accidentally quadratic snapshot providers, not µs-level drift);
@@ -97,6 +104,9 @@ WALL_FLOOR_S = float(os.environ.get("PERF_WALL_FLOOR_S", "0.1"))
 HIT_RATE_BAND = float(os.environ.get("PERF_HIT_RATE_BAND", "0.05"))
 TRACING_OVERHEAD_BUDGET = float(
     os.environ.get("TRACING_OVERHEAD_BUDGET", "0.05")
+)
+REMOTE_TRACING_OVERHEAD_BUDGET = float(
+    os.environ.get("REMOTE_TRACING_OVERHEAD_BUDGET", "0.10")
 )
 SYS_SCAN_BUDGET_MS = float(os.environ.get("SYS_SCAN_BUDGET_MS", "50.0"))
 VEC_SPEEDUP_FLOOR = float(os.environ.get("VEC_SPEEDUP_FLOOR", "3.0"))
@@ -218,6 +228,24 @@ def check_observability(obs: dict) -> int:
             failures.append(
                 f"observability: tracing overhead {overhead:+.2%} exceeds "
                 f"the {TRACING_OVERHEAD_BUDGET:.0%} budget"
+            )
+    for key, label in (
+        ("server_tracing_overhead", "server (wire) tracing overhead"),
+        ("sharded_tracing_overhead", "sharded extraction tracing overhead"),
+    ):
+        remote = obs.get(key)
+        if remote is None:
+            failures.append(f"observability: ledger lacks {key}")
+            continue
+        verdict = "FAIL" if remote > REMOTE_TRACING_OVERHEAD_BUDGET else "ok"
+        print(
+            f"observability: {label} {remote:+.2%} "
+            f"(budget {REMOTE_TRACING_OVERHEAD_BUDGET:.0%}) {verdict}"
+        )
+        if remote > REMOTE_TRACING_OVERHEAD_BUDGET:
+            failures.append(
+                f"observability: {label} {remote:+.2%} exceeds the "
+                f"{REMOTE_TRACING_OVERHEAD_BUDGET:.0%} budget"
             )
     scan_ms = obs.get("sys_scan_ms")
     if scan_ms is None:

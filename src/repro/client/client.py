@@ -9,6 +9,13 @@ and :func:`~repro.server.protocol.rehydrate_error` rebuilds the class, its
 :meth:`WireClient.run_retryable` behaves exactly like
 :meth:`Database.run_retryable` across the network: roll back, back off
 (seeded from the server's hint), re-run on a fresh snapshot.
+
+With ``tracing=True`` the client opens a ``client.<op>`` span around every
+round trip and injects its :class:`~repro.obs.trace.TraceContext` into the
+frame, so the server's spans for that statement share the client's trace
+id — one trace follows the statement from the client through the server
+into every shard worker.  :meth:`WireClient.profile` fetches the server's
+structured time breakdown of the session's last statement.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import CursorError, ReproError
+from repro.obs.trace import TraceContext, Tracer
 from repro.server import protocol
 
 
@@ -166,7 +174,13 @@ class WireClient:
         auth_token: Optional[str] = None,
         connect_timeout_s: float = 10.0,
         io_timeout_s: Optional[float] = 120.0,
+        tracing: bool = False,
+        trace_sample_rate: float = 1.0,
     ):
+        #: client-side span tracer; off by default so the plain client
+        #: pays nothing.  Attach a JsonlTraceExporter to stitch the
+        #: client's records with the server's on trace_id.
+        self.tracer = Tracer(enabled=tracing, sample_rate=trace_sample_rate)
         self.sock = socket.create_connection((host, port), connect_timeout_s)
         self.sock.settimeout(io_timeout_s)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -185,9 +199,25 @@ class WireClient:
     # -- framing --------------------------------------------------------------
 
     def request(self, **payload: Any) -> Dict[str, Any]:
-        """Send one frame, await its response; raise on error frames."""
+        """Send one frame, await its response; raise on error frames.
+
+        When tracing is on, the round trip runs inside a ``client.<op>``
+        span whose context is injected into the frame's ``trace`` field,
+        so server-side spans parent under it (by id, across the wire).
+        """
         if self._closed:
             raise CursorError("client connection is closed")
+        if not self.tracer.enabled:
+            return self._roundtrip(payload)
+        op = str(payload.get("op") or "frame").lower()
+        with self.tracer.span(f"client.{op}", session=self.session_id) as span:
+            if span.span_id and span.trace_id:
+                payload["trace"] = TraceContext(
+                    span.trace_id, span.span_id, span.sampled
+                ).to_wire()
+            return self._roundtrip(payload)
+
+    def _roundtrip(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         protocol.write_frame(self.sock, payload)
         response = protocol.read_frame(self.sock)
         if not response.get("ok"):
@@ -238,6 +268,19 @@ class WireClient:
 
     def ping(self) -> float:
         return float(self.request(op="PING")["time_s"])
+
+    # -- observability ---------------------------------------------------------
+
+    def profile(self) -> Optional[Dict[str, Any]]:
+        """Structured time breakdown of this session's last statement.
+
+        Returns the server-built profile (queue wait, pipeline stages,
+        per-shard scatter durations + skew, MVCC retry wait, …) or None
+        when the server has not run a statement for this session yet or
+        has tracing disabled.  Render it with
+        :func:`repro.obs.render_profile`.
+        """
+        return self.request(op="PROFILE").get("profile")
 
     # -- retry loop (mirrors Database.run_retryable) ---------------------------
 

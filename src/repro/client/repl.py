@@ -14,6 +14,7 @@ Dot commands::
     \\close N        release CO N
     \\timeout S      set this session's statement timeout (- to clear)
     \\retry <sql>    run one statement under the client retry loop
+    \\profile        time breakdown of this session's last statement
     \\q              quit
 """
 
@@ -25,6 +26,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.client.client import RemoteCO, WireClient
+from repro.obs.profile import render_profile
 
 
 def _render_rows(columns: List[str], rows: List[tuple], limit: int = 50) -> str:
@@ -148,6 +150,12 @@ class Repl:
             sql = stmt[len("\\retry"):].strip()
             result = self.client.run_retryable(lambda: self.client.execute(sql))
             self.emit(f"ok ({result.rowcount} rows affected)")
+        elif cmd == "\\profile" and len(parts) == 1:
+            profile = self.client.profile()
+            if profile is None:
+                self.emit("no profile yet (run a statement first)")
+            else:
+                self.emit(render_profile(profile))
         else:
             self.emit(f"unknown command {stmt!r} (\\q quits)")
         return True

@@ -24,9 +24,13 @@ PR measures against:
   q-errors (``SYS_STAT_ESTIMATES``), optionally consulted by the planner.
 * :mod:`repro.obs.costats` — per-CO instantiation cardinalities and
   fixpoint profiles (``SYS_CO_STATS``).
-* :mod:`repro.obs.export` — JSONL trace exporter (one root span per line).
+* :mod:`repro.obs.export` — JSONL trace exporter (one root span per line,
+  batched writes, trace ids stitch client- and server-side records).
 * :mod:`repro.obs.network` — wire-server frame/byte counters and live
   session rows (``SYS_STAT_NETWORK`` / ``SYS_SESSIONS``).
+* :mod:`repro.obs.profile` — per-statement profiles aggregated from one
+  trace tree (pipeline stages, queue/retry waits, per-shard durations),
+  behind the ``PROFILE`` wire op and the ``\\profile`` REPL command.
 """
 
 from repro.obs.analyze import OpStats, instrument_plan, render_analyzed
@@ -35,15 +39,17 @@ from repro.obs.export import JsonlTraceExporter
 from repro.obs.feedback import EstimateFeedback, FeedbackRegistry, q_error
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.network import NetworkStats, WireSessionRegistry, WireSessionStats
+from repro.obs.profile import build_profile, render_profile
 from repro.obs.slowlog import SlowQuery, SlowQueryLog
 from repro.obs.statements import StatementStat, StatementStatsRegistry
-from repro.obs.trace import NULL_SPAN, Span, Tracer
+from repro.obs.trace import FRESH_CONTEXT, NULL_SPAN, Span, TraceContext, Tracer
 
 __all__ = [
     "COStat",
     "COStatsRegistry",
     "Counter",
     "EstimateFeedback",
+    "FRESH_CONTEXT",
     "FeedbackRegistry",
     "Gauge",
     "Histogram",
@@ -59,8 +65,11 @@ __all__ = [
     "Span",
     "StatementStat",
     "StatementStatsRegistry",
+    "TraceContext",
     "Tracer",
+    "build_profile",
     "instrument_plan",
     "q_error",
     "render_analyzed",
+    "render_profile",
 ]

@@ -5,20 +5,30 @@ and every finished top-level statement span is appended to *path* as a
 single JSON object — the standard "newline-delimited traces" shape that
 log shippers and ``jq`` both understand.  Export errors never propagate
 into the traced statement (the tracer counts them instead).
+
+Writes are buffered: serialized lines accumulate under the lock and hit
+the file handle only every ``batch_size`` spans (or on an explicit
+:meth:`flush` / :meth:`close`), so the per-statement cost on the traced
+hot path is one ``json.dumps`` and a list append, not a syscall.  Each
+exported line carries the span's ``trace_id``, which is what stitches a
+client-side record to the server-side record of the same statement.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import IO, Optional, Union
+from typing import IO, List, Optional, Union
 
 
 class JsonlTraceExporter:
     """Append ``span.to_dict()`` as one JSON line per root span."""
 
-    def __init__(self, path: Union[str, "IO[str]"]):
+    def __init__(self, path: Union[str, "IO[str]"], batch_size: int = 16):
         self._lock = threading.Lock()
         self.exported = 0
+        #: lines buffered per write; 1 restores write-through behaviour
+        self.batch_size = max(1, batch_size)
+        self._buffer: List[str] = []
         if hasattr(path, "write"):
             self.path: Optional[str] = None
             self._fh: Optional[IO[str]] = path  # caller-owned stream
@@ -31,19 +41,38 @@ class JsonlTraceExporter:
     def export(self, span) -> None:
         line = span.to_json() + "\n"
         with self._lock:
-            if self._fh is None:
-                if not self._owns_fh:
-                    return  # closed caller-owned stream
-                self._fh = open(self.path, "a", encoding="utf-8")
-            self._fh.write(line)
-            self._fh.flush()
+            self._buffer.append(line)
             self.exported += 1
+            if len(self._buffer) >= self.batch_size:
+                self._drain()
+
+    def flush(self) -> None:
+        """Write any buffered lines and flush the underlying handle."""
+        with self._lock:
+            self._drain()
+
+    def _drain(self) -> None:
+        # caller holds self._lock
+        if self._fh is None:
+            if not self._owns_fh:
+                self._buffer.clear()
+                return  # closed caller-owned stream: drop, never raise late
+            if self.path is None or not self._buffer:
+                return
+            self._fh = open(self.path, "a", encoding="utf-8")
+        if self._buffer:
+            self._fh.write("".join(self._buffer))
+            self._buffer.clear()
+        self._fh.flush()
 
     def close(self) -> None:
         with self._lock:
-            if self._fh is not None and self._owns_fh:
-                self._fh.close()
-            self._fh = None
+            try:
+                self._drain()
+            finally:
+                if self._fh is not None and self._owns_fh:
+                    self._fh.close()
+                self._fh = None
 
     def __enter__(self) -> "JsonlTraceExporter":
         return self

@@ -21,7 +21,7 @@ class StatementStat:
 
     __slots__ = (
         "fingerprint", "calls", "errors", "total_s", "rows",
-        "plan_cache_hits", "latency",
+        "plan_cache_hits", "latency", "last_session_id", "last_trace_id",
     )
 
     def __init__(self, fingerprint: str):
@@ -32,6 +32,11 @@ class StatementStat:
         self.rows = 0
         self.plan_cache_hits = 0
         self.latency = Histogram()
+        #: wire-session attribution: the last session/trace that ran this
+        #: fingerprint (None for purely in-process statements), so
+        #: SYS_SESSIONS joins to per-statement stats.
+        self.last_session_id: Optional[int] = None
+        self.last_trace_id: Optional[int] = None
 
     @property
     def mean_s(self) -> float:
@@ -60,6 +65,8 @@ class StatementStatsRegistry:
         rows: int = 0,
         cache_hit: bool = False,
         error: bool = False,
+        session_id: Optional[int] = None,
+        trace_id: Optional[int] = None,
     ) -> None:
         if not self.enabled:
             return
@@ -83,6 +90,10 @@ class StatementStatsRegistry:
                 stat.plan_cache_hits += 1
             if error:
                 stat.errors += 1
+            if session_id is not None:
+                stat.last_session_id = session_id
+            if trace_id is not None:
+                stat.last_trace_id = trace_id
             stat.latency.observe(elapsed_s)
 
     def get(self, fingerprint: str) -> Optional[StatementStat]:
@@ -113,6 +124,8 @@ class StatementStatsRegistry:
                 _ms(quantiles["p95"]),
                 _ms(quantiles["p99"]),
                 _ms(stat.latency.maximum),
+                stat.last_session_id,
+                stat.last_trace_id,
             ))
         return out
 

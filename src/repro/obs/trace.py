@@ -11,18 +11,123 @@ Tracing is cheap (two ``perf_counter`` calls and a list append per span;
 no per-row work) and on by default.  ``Tracer(enabled=False)`` — or
 ``Database(tracing=False)`` — degrades every ``span()`` call to a shared
 no-op span so the hot path pays a single attribute check.
+
+Distributed tracing
+-------------------
+
+Span stacks are thread-local, so any span opened on a different thread
+(a wire-server worker, a shard scatter worker) would normally start a
+fresh, *orphaned* tree.  A :class:`TraceContext` carries (trace id,
+parent span id, sampling decision) across that boundary explicitly:
+
+* ``tracer.current_context()`` captures the calling thread's innermost
+  open span as a handoff context;
+* ``tracer.adopt(ctx)`` installs it on the worker thread, so the next
+  root span opened there parents under the captured span (same thread
+  tree when the context's span object is local, id-linked when the
+  context crossed the wire);
+* ``TraceContext.to_wire()`` / ``from_wire()`` serialize the context
+  into protocol frames so client- and server-side trees share one
+  trace id.
+
+Root spans that still complete unparented on a known worker-pool thread
+are counted in :attr:`Tracer.orphans` (and the ``trace.orphan_spans``
+metric) — zero is the healthy steady state.
+
+Head-based sampling: :attr:`Tracer.sample_rate` decides at root-span
+creation whether the tree is recorded; unsampled roots suppress all
+child spans (near-zero cost) and are dropped on completion unless they
+erred or ran longer than :attr:`Tracer.slow_sample_s` (always-sample on
+slow/error, annotated ``sampled=late``).
 """
 
 from __future__ import annotations
 
 import itertools
 import json
+import os
+import random
 import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional
 
 #: process-wide span id sequence (0 is reserved for the shared null span)
 _SPAN_IDS = itertools.count(1)
+
+# Span creation sits on the per-statement hot path whose overhead budget
+# is gated in CI: bind the two C functions it calls as module globals so
+# each span pays two LOAD_GLOBALs instead of module-attribute lookups.
+_perf_counter = time.perf_counter
+_get_ident = threading.get_ident
+
+#: trace ids are (random 16-bit process tag << 32) | counter so ids minted
+#: by separate processes (a WireClient and a remote server, say) do not
+#: collide when their JSONL exports are merged for stitching.
+_TRACE_IDS = itertools.count(1)
+_TRACE_TAG = int.from_bytes(os.urandom(2), "big") << 32
+
+
+def _next_trace_id() -> int:
+    return _TRACE_TAG | next(_TRACE_IDS)
+
+
+#: thread-name prefixes of the pools whose workers must receive an
+#: explicit TraceContext handoff; a root span completing on one of these
+#: without an adopted context is an orphan (checked once per root).
+_WORKER_THREAD_PREFIXES = ("ThreadPoolExecutor", "xnf-wire", "xnf-scatter")
+
+
+class TraceContext:
+    """A portable parent reference: trace id + parent span id + sampling.
+
+    ``span`` holds the live parent :class:`Span` when the context stays
+    in-process (scatter/gather handoff) so the worker's subtree links
+    straight into the parent tree; it is ``None`` when the context
+    crossed the wire, in which case the adopting root span becomes a
+    local root that shares the remote trace id.
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled", "span")
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        sampled: bool = True,
+        span: Optional["Span"] = None,
+    ):
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+        self.span = span
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {"id": self.trace_id, "span": self.span_id, "sampled": self.sampled}
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> Optional["TraceContext"]:
+        """Tolerant decode of a frame's ``trace`` field (None on junk)."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("id")
+        span_id = payload.get("span")
+        if not isinstance(trace_id, int) or trace_id <= 0:
+            return None
+        if not isinstance(span_id, int) or span_id < 0:
+            return None
+        return cls(trace_id, span_id, bool(payload.get("sampled", True)))
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceContext(trace_id={self.trace_id}, span_id={self.span_id}, "
+            f"sampled={self.sampled}, local={self.span is not None})"
+        )
+
+
+#: marker for "intentionally a fresh trace" — adopting it documents that
+#: no parent exists (e.g. a wire frame without a trace field) so the
+#: resulting root is *not* counted as an orphan.
+FRESH_CONTEXT = TraceContext(0, 0)
 
 
 class Span:
@@ -35,13 +140,14 @@ class Span:
     """
 
     __slots__ = (
-        "name", "_attrs", "start_s", "end_s", "_children", "_tracer", "span_id"
+        "name", "_attrs", "start_s", "end_s", "_children", "_tracer",
+        "span_id", "trace_id", "parent_id", "sampled", "thread_id",
     )
 
     def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
         self.name = name
         self._attrs = attrs
-        self.start_s = time.perf_counter()
+        self.start_s = _perf_counter()
         self.end_s: Optional[float] = None
         # Child list and attribute dict are allocated lazily: most spans are
         # leaves with no attributes, and span creation sits on the per-
@@ -49,6 +155,12 @@ class Span:
         self._children: Optional[List["Span"]] = None
         self._tracer: Optional["Tracer"] = None
         self.span_id = next(_SPAN_IDS)
+        self.trace_id = 0
+        #: parent span id — set only across thread/wire boundaries; the
+        #: in-stack tree carries parentage structurally.
+        self.parent_id: Optional[int] = None
+        self.sampled = True
+        self.thread_id = _get_ident()
 
     @property
     def attrs(self) -> Dict[str, Any]:
@@ -64,12 +176,12 @@ class Span:
 
     @property
     def duration_s(self) -> float:
-        end = self.end_s if self.end_s is not None else time.perf_counter()
+        end = self.end_s if self.end_s is not None else _perf_counter()
         return end - self.start_s
 
     def finish(self) -> "Span":
         if self.end_s is None:
-            self.end_s = time.perf_counter()
+            self.end_s = _perf_counter()
         return self
 
     def annotate(self, **attrs: Any) -> "Span":
@@ -107,6 +219,10 @@ class Span:
             "span_id": self.span_id,
             "duration_ms": round(self.duration_s * 1e3, 4),
         }
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
+        if self.parent_id is not None:
+            out["parent_span_id"] = self.parent_id
         if self._attrs:
             out["attrs"] = dict(self._attrs)
         if self._children:
@@ -171,12 +287,25 @@ class Tracer:
     :attr:`recent` (newest last).
     """
 
-    def __init__(self, enabled: bool = True, history: int = 16):
+    def __init__(
+        self,
+        enabled: bool = True,
+        history: int = 16,
+        sample_rate: float = 1.0,
+        slow_sample_s: Optional[float] = None,
+    ):
         self.enabled = enabled
         self.history = history
+        #: head-based sampling probability for new roots (1.0 = trace all);
+        #: adopted contexts carry their own decision instead.
+        self.sample_rate = sample_rate
+        #: unsampled roots slower than this are kept anyway (None = never)
+        self.slow_sample_s = slow_sample_s
         # Each thread gets its own span stack so concurrent sessions build
         # independent trees instead of parenting into each other's spans.
-        # last_trace/recent stay shared (guarded by _history_mutex).
+        # Cross-thread work must hand its parent over explicitly via
+        # current_context()/adopt().  last_trace/recent stay shared
+        # (guarded by _history_mutex).
         self._local = threading.local()
         self._history_mutex = threading.Lock()
         self.last_trace: Optional[Span] = None
@@ -185,6 +314,17 @@ class Tracer:
         #: completed *root* span (e.g. :class:`repro.obs.JsonlTraceExporter`)
         self.exporter: Optional[Any] = None
         self.export_failures = 0
+        #: root spans that completed on a worker-pool thread without an
+        #: adopted TraceContext — each one is a tree SYS_MONITOR cannot
+        #: reach from its statement.  Healthy steady state: zero.
+        self.orphans = 0
+        #: roots dropped by head-based sampling (not slow, no error)
+        self.sampled_out = 0
+        #: optional MetricsRegistry mirror for the orphan counter
+        self.metrics: Optional[Any] = None
+        # deterministic sampling stream: overhead benches and tests get
+        # reproducible keep/drop sequences for a given rate
+        self._rng = random.Random(0x5EED)
 
     @property
     def _stack(self) -> List[Span]:
@@ -199,23 +339,89 @@ class Tracer:
 
         The returned span is a context manager; leaving the ``with`` block
         finishes it (annotating the exception type if one is unwinding).
+        On an empty stack the new span becomes a root: it adopts the
+        thread's installed :class:`TraceContext` if one is present, else
+        mints a fresh trace id and takes the head-based sampling decision.
         """
         if not self.enabled:
             return NULL_SPAN
-        span = Span(name, attrs or None)
-        span._tracer = self
         stack = self._stack
         if stack:
+            if not stack[0].sampled:
+                return NULL_SPAN  # unsampled tree: suppress children
+            span = Span(name, attrs or None)
+            span._tracer = self
+            span.trace_id = stack[0].trace_id
             parent = stack[-1]
             if parent._children is None:
                 parent._children = [span]
             else:
                 parent._children.append(span)
+            stack.append(span)
+            return span
+        span = Span(name, attrs or None)
+        span._tracer = self
+        inherited = getattr(self._local, "inherited", None)
+        if inherited is not None and inherited.trace_id:
+            span.trace_id = inherited.trace_id
+            span.parent_id = inherited.span_id
+            span.sampled = inherited.sampled
+            if inherited.span is not None:
+                # Local cross-thread handoff: link straight into the
+                # parent tree (its children list was materialized by
+                # current_context(); list.append is atomic under the GIL).
+                inherited.span.children.append(span)
+        else:
+            span.trace_id = _next_trace_id()
+            rate = self.sample_rate
+            span.sampled = rate >= 1.0 or self._rng.random() < rate
         stack.append(span)
         return span
 
     def current(self) -> Optional[Span]:
         return self._stack[-1] if self._stack else None
+
+    def current_context(self) -> Optional[TraceContext]:
+        """Capture the innermost open span as a cross-thread handoff.
+
+        Returns None when nothing is open and nothing was adopted (the
+        worker will then mint a fresh trace — or be counted as an orphan
+        if it never adopts at all).
+        """
+        stack = self._stack
+        if not stack:
+            inherited = getattr(self._local, "inherited", None)
+            if inherited is not None and inherited.trace_id:
+                return inherited
+            return None
+        top = stack[-1]
+        # Materialize the children list now, on the owning thread, so
+        # concurrent workers only ever append to an existing list.
+        _ = top.children
+        return TraceContext(stack[0].trace_id, top.span_id, stack[0].sampled, top)
+
+    def force_sample(self) -> None:
+        """Late-sample the currently open tree.
+
+        EXPLAIN ANALYZE exists to be read: if head-based sampling (or an
+        adopted unsampled context) suppressed the open root, flip it so
+        the subtree about to run records normally.  No-op when nothing is
+        open or the root is already sampled.
+        """
+        stack = self._stack
+        if stack and not stack[0].sampled:
+            stack[0].sampled = True
+            stack[0].annotate(sampled="late")
+
+    def adopt(self, context: Optional[TraceContext]) -> "_Adopt":
+        """Install *context* as the parent for root spans on this thread.
+
+        ``adopt(None)`` installs :data:`FRESH_CONTEXT` — an explicit "new
+        trace starts here" marker that suppresses orphan accounting (use
+        it when there is genuinely no parent, e.g. a wire frame from a
+        non-tracing client).
+        """
+        return _Adopt(self, context if context is not None else FRESH_CONTEXT)
 
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes to the innermost open span (no-op when idle)."""
@@ -232,15 +438,73 @@ class Tracer:
             top.finish()
             if top is span:
                 break
-        if not stack:
-            with self._history_mutex:
-                self.last_trace = span
-                self.recent.append(span)
-                if len(self.recent) > self.history:
-                    del self.recent[: len(self.recent) - self.history]
-            if self.exporter is not None:
-                # An exporter IO error must not fail the traced statement.
-                try:
-                    self.exporter.export(span)
-                except Exception:
-                    self.export_failures += 1
+        if stack:
+            return
+        inherited = getattr(self._local, "inherited", None)
+        if inherited is not None and inherited.span is not None:
+            # Linked child of a live parent tree on another thread: the
+            # parent root's completion records and exports the whole tree.
+            return
+        if inherited is None:
+            # A root finished on a pool worker with no explicit handoff:
+            # SYS_MONITOR's statement->spans path cannot reach this tree.
+            # The thread-name probe is cached per thread (names are fixed
+            # at pool-worker creation) — this branch runs once per root.
+            is_worker = getattr(self._local, "is_worker", None)
+            if is_worker is None:
+                is_worker = threading.current_thread().name.startswith(
+                    _WORKER_THREAD_PREFIXES
+                )
+                self._local.is_worker = is_worker
+            if is_worker:
+                self.orphans += 1
+                if self.metrics is not None:
+                    self.metrics.inc("trace.orphan_spans")
+        if not span.sampled:
+            erred = bool(span._attrs) and "error" in span._attrs
+            slow = (
+                self.slow_sample_s is not None
+                and span.duration_s >= self.slow_sample_s
+            )
+            if not (erred or slow):
+                self.sampled_out += 1
+                return
+            span.annotate(sampled="late")
+        with self._history_mutex:
+            self.last_trace = span
+            self.recent.append(span)
+            if len(self.recent) > self.history:
+                del self.recent[: len(self.recent) - self.history]
+        if self.exporter is not None:
+            # An exporter IO error must not fail the traced statement —
+            # and a misbehaving exporter that runs statements itself must
+            # not recurse into another export (non-re-entrant guard).
+            if getattr(self._local, "exporting", False):
+                return
+            self._local.exporting = True
+            try:
+                self.exporter.export(span)
+            except Exception:
+                self.export_failures += 1
+            finally:
+                self._local.exporting = False
+
+
+class _Adopt:
+    """Context manager installing/restoring a thread's inherited context."""
+
+    __slots__ = ("_tracer", "_context", "_saved")
+
+    def __init__(self, tracer: Tracer, context: TraceContext):
+        self._tracer = tracer
+        self._context = context
+
+    def __enter__(self) -> TraceContext:
+        local = self._tracer._local
+        self._saved = getattr(local, "inherited", None)
+        local.inherited = self._context
+        return self._context
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._local.inherited = self._saved
+        return False

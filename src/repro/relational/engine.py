@@ -37,7 +37,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.network import NetworkStats, WireSessionRegistry
 from repro.obs.slowlog import SlowQueryLog
 from repro.obs.statements import StatementStatsRegistry
-from repro.obs.trace import Tracer
+from repro.obs.trace import TraceContext, Tracer
 from repro.relational.catalog import Catalog, Column, ShardedTable, Table
 from repro.relational.storage.sharded import PartitionSpec
 from repro.relational.executor.exprs import PlanContext
@@ -139,6 +139,13 @@ class Session:
         self._txn: Optional[Transaction] = None
         #: per-session statement timeout; None inherits the database default
         self.statement_timeout_s: Optional[float] = None
+        #: wire-session id (stamped into statement stats / the slow log
+        #: while this session is active); None for in-process sessions
+        self.session_id: Optional[int] = None
+        #: distributed-trace parent adopted for the duration of each
+        #: activation: the wire server sets this per frame (FRESH_CONTEXT
+        #: when the client sent no trace) before dispatching to the pool
+        self.trace_context: Optional[TraceContext] = None
 
     def execute(self, sql: str) -> "Result":
         with self._activate():
@@ -191,16 +198,29 @@ class Session:
         class _Swap:
             def __enter__(self):
                 db = session.db
-                self.saved = (db._txn, db.isolation, db._timeout_override)
+                self.saved = (
+                    db._txn, db.isolation, db._timeout_override, db._session_id
+                )
                 db._txn = session._txn
                 db.isolation = session.isolation
                 db._timeout_override = session.statement_timeout_s
+                db._session_id = session.session_id
+                # Adopt the handed-over trace context (if any) so the root
+                # span this thread opens parents under the caller's trace.
+                self.adopted = None
+                if session.trace_context is not None:
+                    self.adopted = db.tracer.adopt(session.trace_context)
+                    self.adopted.__enter__()
                 return session
 
             def __exit__(self, *exc_info):
                 db = session.db
+                if self.adopted is not None:
+                    self.adopted.__exit__(*exc_info)
                 session._txn = db._txn
-                db._txn, db.isolation, db._timeout_override = self.saved
+                (
+                    db._txn, db.isolation, db._timeout_override, db._session_id
+                ) = self.saved
                 return False
 
         return _Swap()
@@ -221,6 +241,7 @@ class Database:
         io_retries: int = 3,
         io_retry_backoff_s: float = 0.001,
         tracing: bool = True,
+        trace_sample_rate: Optional[float] = None,
         slow_query_threshold_s: Optional[float] = None,
         statement_stats: bool = True,
         optimizer_feedback: bool = False,
@@ -291,10 +312,26 @@ class Database:
         self.last_timings: Dict[str, float] = {}
         self.statements_executed = 0
         self.plan_cache = PlanCache(plan_cache_capacity)
-        #: span tracer: every statement leaves a tree in tracer.last_trace
-        self.tracer = Tracer(enabled=tracing)
+        #: span tracer: every statement leaves a tree in tracer.last_trace.
+        #: Head-based sampling: explicit ``trace_sample_rate=`` argument,
+        #: then the REPRO_TRACE_SAMPLE environment variable, default 1.0
+        #: (trace everything); slow statements are always sampled once a
+        #: slow-query threshold is configured.
+        if trace_sample_rate is None:
+            try:
+                trace_sample_rate = float(
+                    os.environ.get("REPRO_TRACE_SAMPLE", "1")
+                )
+            except ValueError:
+                trace_sample_rate = 1.0
+        self.tracer = Tracer(
+            enabled=tracing,
+            sample_rate=trace_sample_rate,
+            slow_sample_s=slow_query_threshold_s,
+        )
         #: process-wide named metrics (XNF fixpoint, statement latencies, …)
         self.metrics = MetricsRegistry()
+        self.tracer.metrics = self.metrics
         #: statements slower than the threshold, span trees attached
         self.slow_query_log = SlowQueryLog(slow_query_threshold_s)
         #: EXPLAIN ANALYZE mode: queries compile uncached and instrumented,
@@ -370,6 +407,25 @@ class Database:
         self._tls.timeout_override = value
 
     @property
+    def _session_id(self) -> Optional[int]:
+        """Wire-session id of the active Session on this thread (if any)."""
+        return getattr(self._tls, "session_id", None)
+
+    @_session_id.setter
+    def _session_id(self, value: Optional[int]) -> None:
+        self._tls.session_id = value
+
+    @property
+    def _retry_wait_s(self) -> float:
+        """Seconds this thread has slept in transparent retry backoff
+        (statement IO retries + run_retryable serialization retries);
+        monotonically growing, read as a delta around one statement."""
+        return getattr(self._tls, "retry_wait", 0.0)
+
+    def _note_retry_sleep(self, seconds: float) -> None:
+        self._tls.retry_wait = getattr(self._tls, "retry_wait", 0.0) + seconds
+
+    @property
     def _last_fingerprint(self) -> Optional[str]:
         return getattr(self._tls, "fingerprint", None)
 
@@ -435,6 +491,8 @@ class Database:
                         time.perf_counter() - start,
                         cache_hit=self._last_cache_hit,
                         error=True,
+                        session_id=self._session_id,
+                        trace_id=span.trace_id or None,
                     )
                 raise
             if result.rowcount:
@@ -449,6 +507,8 @@ class Database:
                 elapsed,
                 rows=result.rowcount,
                 cache_hit=self._last_cache_hit,
+                session_id=self._session_id,
+                trace_id=span.trace_id or None,
             )
         if self.slow_query_log.enabled:
             self._maybe_log_slow(stmt, elapsed, span)
@@ -491,6 +551,8 @@ class Database:
             elapsed,
             trace=span.to_dict() if self.tracer.enabled else None,
             timings={k: round(v, 6) for k, v in self.last_timings.items()},
+            session_id=self._session_id,
+            trace_id=span.trace_id or None,
         )
         self.metrics.inc("sql.slow_statements")
 
@@ -888,6 +950,7 @@ class Database:
                     self.metrics.inc("sql.statement_retries")
                     if backoff > 0:
                         time.sleep(backoff)
+                        self._note_retry_sleep(backoff)
                     backoff *= 2
                     continue
                 raise
@@ -930,6 +993,7 @@ class Database:
                         self.metrics.inc("sql.statement_retries")
                         if backoff > 0:
                             time.sleep(backoff)
+                            self._note_retry_sleep(backoff)
                         backoff *= 2
                         continue
                     raise
@@ -1215,6 +1279,7 @@ class Database:
                 sleep_s = min(sleep_s, max_backoff_s)
                 if sleep_s > 0:
                     time.sleep(sleep_s)
+                    self._note_retry_sleep(sleep_s)
                 delay *= 2
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -1509,6 +1574,12 @@ class Database:
                 "tracked": len(self.feedback),
                 "evicted": self.feedback.evicted,
             },
+            "trace": {
+                "orphan_spans": self.tracer.orphans,
+                "sampled_out": self.tracer.sampled_out,
+                "export_failures": self.tracer.export_failures,
+                "sample_rate": self.tracer.sample_rate,
+            },
             "network": {
                 **self.network.snapshot(),
                 "live_sessions": len(self.wire_sessions),
@@ -1601,10 +1672,13 @@ class Prepared:
         start = time.perf_counter()
         result = fn()
         if db.statement_stats.enabled and self._fingerprint is not None:
+            current = db.tracer.current()
             db.statement_stats.record(
                 self._fingerprint,
                 time.perf_counter() - start,
                 rows=result.rowcount,
                 cache_hit=db._last_cache_hit,
+                session_id=db._session_id,
+                trace_id=(current.trace_id or None) if current else None,
             )
         return result

@@ -215,12 +215,18 @@ def _spans_provider(db) -> Callable[[], Iterable[Tuple]]:
                 str(attrs["error"]) if "error" in attrs else None,
                 attrs.get("executor"),
                 attrs.get("batches"),
+                span.thread_id,
+                attrs.get("shard"),
             ))
             for child in span.children:
                 emit(child, trace_id, span.span_id, depth + 1)
 
         for root in list(db.tracer.recent):
-            emit(root, root.span_id, None, 0)
+            # A root adopted from a remote TraceContext keeps the remote
+            # trace id and parent span id, so client- and server-side rows
+            # join on trace_id; purely local roots fall back to their own
+            # span id (pre-distributed-tracing behaviour).
+            emit(root, root.trace_id or root.span_id, root.parent_id, 0)
         return out
     return provider
 
@@ -261,6 +267,8 @@ def build_sys_tables(db) -> List[VirtualTable]:
                 ("p95_ms", FLOAT),
                 ("p99_ms", FLOAT),
                 ("max_ms", FLOAT),
+                ("last_session_id", INTEGER),
+                ("last_trace_id", INTEGER),
             ),
             _statements_provider(db),
         ),
@@ -371,6 +379,8 @@ def build_sys_tables(db) -> List[VirtualTable]:
                 ("error", VARCHAR()),
                 ("executor", VARCHAR()),
                 ("batches", INTEGER),
+                ("thread", INTEGER),
+                ("shard", INTEGER),
             ),
             _spans_provider(db),
         ),

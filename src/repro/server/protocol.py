@@ -3,9 +3,19 @@
 A frame is a 4-byte big-endian unsigned length followed by that many bytes
 of UTF-8 JSON encoding one object.  Requests carry an ``"op"`` field
 (AUTH, QUERY, PREPARE, EXECUTE, FETCH, XNF, XNF_EXPLAIN, CO_CURSOR,
-CO_FETCH, CO_PATH, CO_CLOSE, SET, PING, CLOSE); responses carry
+CO_FETCH, CO_PATH, CO_CLOSE, SET, PING, PROFILE, CLOSE); responses carry
 ``"ok": true`` plus op-specific fields, or ``"ok": false`` plus an
 ``"error"`` object.
+
+Distributed tracing (additive in protocol v1): a request may carry a
+``"trace"`` object — ``{"id": <trace_id>, "span": <parent span id>,
+"sampled": <bool>}``, the wire form of
+:class:`repro.obs.trace.TraceContext` — which the server adopts so its
+spans for that statement share the client's trace id.  Servers ignore a
+malformed trace field (it decodes to a fresh trace, never an error), and
+clients that never send one observe the exact v1 behaviour.  ``PROFILE``
+returns the structured time breakdown of the connection's last
+database-running frame (see :mod:`repro.obs.profile`).
 
 The error object serializes the typed taxonomy of :mod:`repro.errors`
 losslessly enough for client-side retry loops to behave exactly like

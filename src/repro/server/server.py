@@ -51,6 +51,8 @@ from repro.errors import (
     ServerShutdownError,
     SQLError,
 )
+from repro.obs.profile import build_profile
+from repro.obs.trace import FRESH_CONTEXT, TraceContext
 from repro.relational.engine import Database, Result, Session
 from repro.server import protocol
 from repro.server.protocol import ProtocolError
@@ -155,9 +157,19 @@ class _WireConnection:
         self.stats = stats  # WireSessionStats row behind SYS_SESSIONS
         self.session: Session = server.db.connect()
         self.session.statement_timeout_s = server.statement_timeout_s
+        #: wire-session attribution: statements run through this session
+        #: stamp its id into SYS_STAT_STATEMENTS and the slow-query log
+        self.session.session_id = stats.session_id
         self.authed = server.auth_token is None
         self.busy = False
         self.closing = False
+        #: per-frame distributed-trace state (frames are serial per
+        #: connection): the incoming TraceContext and the op name, set by
+        #: dispatch() and consumed by run_db()
+        self._frame_trace: Optional[TraceContext] = None
+        self._frame_op: Optional[str] = None
+        #: profile of the last frame that ran database work (PROFILE op)
+        self.last_profile: Optional[Dict[str, Any]] = None
         self._xnf: Optional[XNFSession] = None
         self._ids = itertools.count(1)
         cap = server.max_session_handles
@@ -203,15 +215,50 @@ class _WireConnection:
         return next(self._ids)
 
     async def run_db(self, fn: Callable[[], Any]) -> Any:
-        """Run blocking database work on the pool, inside this session."""
+        """Run blocking database work on the pool, inside this session.
+
+        Distributed tracing: the frame's :class:`TraceContext` (or
+        ``FRESH_CONTEXT`` when the client sent none) rides in on
+        ``session.trace_context`` so ``Session._activate`` adopts it on
+        the pool worker before the statement runs; the whole call is
+        wrapped in a ``wire.<op>`` span — the server-side root that
+        parents every engine/XNF/shard span — and its completed tree is
+        aggregated into the connection's last profile (``PROFILE`` op),
+        including the admission/queue wait measured from frame dispatch
+        to worker start.
+        """
         session = self.session
+        db = self.server.db
+        tracer = db.tracer
+        session.trace_context = self._frame_trace or FRESH_CONTEXT
+        op_name = self._frame_op or "db"
+        submitted = time.perf_counter()
 
         def call():
+            queue_wait_s = time.perf_counter() - submitted
             with session._activate():
-                return fn()
+                retry_base = db._retry_wait_s
+                conflicts_base = db.txn_manager.locks.conflicts
+                span = tracer.span(f"wire.{op_name}", session=session.session_id)
+                try:
+                    with span:
+                        return fn()
+                finally:
+                    if tracer.enabled:
+                        self.last_profile = build_profile(
+                            span,
+                            queue_wait_s=queue_wait_s,
+                            retry_wait_s=db._retry_wait_s - retry_base,
+                            lock_conflicts=(
+                                db.txn_manager.locks.conflicts - conflicts_base
+                            ),
+                        )
 
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self.server._executor, call)
+        try:
+            return await loop.run_in_executor(self.server._executor, call)
+        finally:
+            session.trace_context = None
 
     def _result_payload(
         self, result: Result, max_rows: Optional[int]
@@ -250,6 +297,11 @@ class _WireConnection:
             raise SQLError(f"unknown op {op!r}")
         if not self.authed and op.upper() not in ("AUTH", "CLOSE", "PING"):
             raise AuthError("authentication required (send AUTH first)")
+        # Per-frame trace state (frames are serial on this connection): a
+        # malformed 'trace' field decodes to None — a fresh server-side
+        # trace — never an error (the field is additive in protocol v1).
+        self._frame_op = op.lower()
+        self._frame_trace = TraceContext.from_wire(payload.get("trace"))
         return await handler(payload)
 
     async def op_auth(self, payload) -> Dict[str, Any]:
@@ -408,6 +460,15 @@ class _WireConnection:
         if stale:
             self.stats.record(cursors_open=-len(stale))
         return protocol.ok()
+
+    # -- observability --------------------------------------------------------
+
+    async def op_profile(self, payload) -> Dict[str, Any]:
+        """Profile of this connection's last database-running frame: the
+        structured time breakdown built from its ``wire.<op>`` span tree
+        (queue wait, pipeline stages, per-shard scatter/delta durations,
+        retry wait).  Pure in-memory read — never dispatched to the pool."""
+        return protocol.ok(profile=self.last_profile)
 
     # -- session options ------------------------------------------------------
 

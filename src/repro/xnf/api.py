@@ -244,17 +244,27 @@ class XNFSession:
         parse_s = time.perf_counter() - start
         if len(statements) != 1 or not isinstance(statements[0], xast.XNFQuery):
             raise XNFError("explain_analyze() expects a single TAKE query")
-        saved = (db.tracer.enabled, db.analyze_statements)
+        saved = (db.tracer.enabled, db.analyze_statements, db.tracer.sample_rate)
         db.tracer.enabled = True
         db.analyze_statements = True
+        db.tracer.sample_rate = 1.0
         try:
+            # Capture the take's spans under our own wrapper rather than
+            # reading tracer.last_trace afterwards: when an outer span is
+            # already open (the wire server's wire.<op> statement span),
+            # the take's spans are children of it and no new root would
+            # complete.  The wrapper subtree is the trace either way.
+            db.tracer.force_sample()
             begin = time.perf_counter()
-            self._run_take(statements[0])
+            with db.tracer.span("xnf.explain_analyze") as wrapper:
+                if not wrapper.sampled:  # adopted an unsampled context
+                    wrapper.sampled = True
+                    wrapper.annotate(sampled="late")
+                self._run_take(statements[0])
             total_s = time.perf_counter() - begin
         finally:
-            db.tracer.enabled, db.analyze_statements = saved
-        trace = db.tracer.last_trace
-        assert trace is not None
+            db.tracer.enabled, db.analyze_statements, db.tracer.sample_rate = saved
+        trace = wrapper
         stages = {"parse": parse_s}
         for name in ("build_qgm", "rewrite", "optimize", "execute"):
             stages[name] = sum(span.duration_s for span in trace.find(name))

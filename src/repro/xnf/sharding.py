@@ -340,15 +340,34 @@ def scatter_candidates(
         for shard_id in shard_ids
     ]
     db.metrics.inc("xnf.scatter.queries", len(queries))
+    # Hand the calling thread's trace context to each scatter worker
+    # explicitly: worker threads have fresh thread-local span stacks, so
+    # without the handoff every per-shard span would be an orphaned root
+    # instead of a child of the statement span.
+    tracer = db.tracer
+    context = tracer.current_context()
+
+    def run_shard(shard_id: int, shard_query: Any) -> Any:
+        with tracer.adopt(context):
+            with tracer.span("xnf.scatter.shard", shard=shard_id) as span:
+                result = db.execute_ast(shard_query)
+                span.annotate(rows=len(result.rows))
+                return result
+
     if len(queries) > 1 and not db.in_transaction:
         # Autocommit reads carry no ambient snapshot into worker threads,
         # so each per-shard query resolves exactly like a serial autocommit
         # statement would.  Inside a transaction the snapshot is pinned to
         # the calling thread: run serially to preserve it.
-        with ThreadPoolExecutor(max_workers=len(queries)) as pool:
-            results = list(pool.map(db.execute_ast, queries))
+        with ThreadPoolExecutor(
+            max_workers=len(queries), thread_name_prefix="xnf-scatter"
+        ) as pool:
+            results = list(pool.map(run_shard, shard_ids, queries))
     else:
-        results = [db.execute_ast(shard_query) for shard_query in queries]
+        results = [
+            run_shard(shard_id, shard_query)
+            for shard_id, shard_query in zip(shard_ids, queries)
+        ]
     columns = results[0].columns
     rows: List[Row] = []
     per_shard: Dict[int, int] = {}

@@ -81,6 +81,7 @@ class TestJsonlExporter:
         db.execute("CREATE TABLE t (a INTEGER)")
         db.execute("INSERT INTO t VALUES (1)")
         db.execute("SELECT * FROM t")
+        db.tracer.exporter.flush()  # exports are buffered (batch_size=16)
         lines = [ln for ln in stream.getvalue().splitlines() if ln]
         assert len(lines) == 3
         roots = [json.loads(line) for line in lines]
